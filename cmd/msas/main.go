@@ -1,0 +1,67 @@
+// msas assembles a multiscalar assembly file and prints a listing: every
+// instruction with its address and annotation bits, the task descriptors
+// with create masks and targets, and the data segment size. With -mode
+// scalar it shows the scalar build instead (annotations stripped). With
+// -encode it appends each instruction's binary encoding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/isa"
+)
+
+func main() {
+	var (
+		modeFlag = flag.String("mode", "multiscalar", "build mode: scalar or multiscalar")
+		encode   = flag.Bool("encode", false, "also print the binary encoding of each instruction")
+		out      = flag.String("o", "", "write a binary container (.msb) instead of a listing")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: msas [-mode scalar|multiscalar] [-encode] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	mode := asm.ModeMultiscalar
+	if *modeFlag == "scalar" {
+		mode = asm.ModeScalar
+	}
+	p, err := asm.Assemble(string(src), mode)
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := isa.WriteProgram(f, p); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d instructions, %d tasks\n", *out, len(p.Text), len(p.Tasks))
+		return
+	}
+	fmt.Print(asm.Listing(p))
+	if *encode {
+		fmt.Printf("\n; binary encoding (%d bytes/instruction)\n", isa.EncodedSize)
+		for i := range p.Text {
+			addr := isa.TextBase + uint32(i)*isa.InstrSize
+			fmt.Printf("  0x%04x  % x\n", addr, p.Text[i].Encode(nil))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "msas:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,142 @@
+// msbench regenerates the paper's evaluation section: Table 1 (functional
+// unit latencies, printed from the configuration), Table 2 (dynamic
+// instruction counts), Tables 3 and 4 (speedups and prediction accuracies
+// for in-order and out-of-order units), the Section 3 cycle-distribution
+// breakdown, and the ablation sweeps.
+//
+// Usage:
+//
+//	msbench -table 3              one table at full benchmark scale
+//	msbench -all -quick           everything at the fast test scale
+//	msbench -breakdown -units 8
+//	msbench -ablate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multiscalar/internal/bench"
+	"multiscalar/internal/isa"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "print one table (1-4)")
+		all       = flag.Bool("all", false, "print every table")
+		breakdown = flag.Bool("breakdown", false, "print the Section 3 cycle distribution")
+		ablate    = flag.Bool("ablate", false, "run the ablation sweeps")
+		sweep     = flag.Bool("sweep", false, "print speedup-vs-units curves (figure-style view)")
+		mix       = flag.Bool("mix", false, "print the dynamic instruction mix of the benchmarks")
+		units     = flag.Int("units", 8, "unit count for -breakdown")
+		quick     = flag.Bool("quick", false, "use fast test-scale inputs")
+	)
+	flag.Parse()
+
+	scale := bench.Scale(0)
+	if *quick {
+		scale = -1
+	}
+
+	ran := false
+	if *all || *table == 1 {
+		printTable1()
+		ran = true
+	}
+	if *all || *table == 2 {
+		rows, err := bench.Table2(scale)
+		check(err)
+		fmt.Println(bench.FormatTable2(rows))
+		ran = true
+	}
+	if *all || *table == 3 {
+		for _, width := range []int{1, 2} {
+			rows, err := bench.PerfTable(width, false, scale)
+			check(err)
+			fmt.Println(bench.FormatPerfTable(
+				fmt.Sprintf("Table 3: in-order %d-way issue units", width), rows))
+		}
+		ran = true
+	}
+	if *all || *table == 4 {
+		for _, width := range []int{1, 2} {
+			rows, err := bench.PerfTable(width, true, scale)
+			check(err)
+			fmt.Println(bench.FormatPerfTable(
+				fmt.Sprintf("Table 4: out-of-order %d-way issue units", width), rows))
+		}
+		ran = true
+	}
+	if *breakdown || *all {
+		rows, err := bench.Breakdown(*units, scale)
+		check(err)
+		fmt.Println(bench.FormatBreakdown(rows))
+		ran = true
+	}
+	if *ablate || *all {
+		runAblations(scale)
+		ran = true
+	}
+	if *sweep || *all {
+		curves, err := bench.SpeedupCurves(1, false, scale, []int{2, 4, 8, 16})
+		check(err)
+		fmt.Println(bench.FormatCurves("Speedup vs unit count (1-way in-order units)", curves))
+		ran = true
+	}
+	if *mix || *all {
+		rows, err := bench.Mixes(scale)
+		check(err)
+		fmt.Println(bench.FormatMixes(rows))
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printTable1() {
+	l := isa.Table1()
+	fmt.Println("Table 1: functional unit latencies (cycles)")
+	fmt.Printf("  %-12s %2d    %-14s %2d\n", "Add/Sub", l.IntAddSub, "SP Add/Sub", l.SPAddSub)
+	fmt.Printf("  %-12s %2d    %-14s %2d\n", "Shift/Logic", l.ShiftLogic, "SP Multiply", l.SPMul)
+	fmt.Printf("  %-12s %2d    %-14s %2d\n", "Multiply", l.IntMul, "SP Divide", l.SPDiv)
+	fmt.Printf("  %-12s %2d    %-14s %2d\n", "Divide", l.IntDiv, "DP Add/Sub", l.DPAddSub)
+	fmt.Printf("  %-12s %2d    %-14s %2d\n", "Mem Store", l.MemStore, "DP Multiply", l.DPMul)
+	fmt.Printf("  %-12s %2d    %-14s %2d\n", "Mem Load", l.MemLoad, "DP Divide", l.DPDiv)
+	fmt.Printf("  %-12s %2d\n\n", "Branch", l.Branch)
+}
+
+func runAblations(scale bench.Scale) {
+	rows, err := bench.UnitSweep("example", scale, []int{1, 2, 4, 8, 16})
+	check(err)
+	fmt.Println(bench.FormatAblation("Ablation: unit count (example)", rows))
+
+	rows, err = bench.RingLatencySweep("compress", scale, []int{0, 1, 2, 4, 8})
+	check(err)
+	fmt.Println(bench.FormatAblation("Ablation: ring hop latency (compress, 8 units)", rows))
+
+	rows, err = bench.ARBSweep("tomcatv", scale, []int{2, 8, 256})
+	check(err)
+	fmt.Println(bench.FormatAblation("Ablation: ARB capacity and overflow policy (tomcatv, 8 units)", rows))
+
+	rows, err = bench.ForwardingAblation("wc", scale)
+	check(err)
+	fmt.Println(bench.FormatAblation("Ablation: early forwarding vs completion flush (wc, 8 units)", rows))
+
+	rows, err = bench.PredictorAblation("gcc", scale)
+	check(err)
+	fmt.Println(bench.FormatAblation("Ablation: PAs vs static task prediction (gcc, 8 units)", rows))
+
+	rows, err = bench.SharedFUAblation("tomcatv", scale)
+	check(err)
+	fmt.Println(bench.FormatAblation("Ablation: private vs shared FP/complex units (tomcatv, 8 units)", rows))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msbench:", err)
+		os.Exit(1)
+	}
+}

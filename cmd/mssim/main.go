@@ -1,0 +1,134 @@
+// mssim runs one program (a benchmark from the suite or an assembly file)
+// on the functional interpreter, the scalar baseline, or a multiscalar
+// configuration, and prints the run's statistics.
+//
+// Usage:
+//
+//	mssim -w example -units 8 -width 2 -ooo
+//	mssim -f prog.s -units 0            (functional interpretation only)
+//	mssim -f prog.s -units 1            (scalar baseline)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"multiscalar"
+	"multiscalar/internal/pu"
+)
+
+func main() {
+	var (
+		workload = flag.String("w", "", "benchmark name (see -list)")
+		file     = flag.String("f", "", "assembly source file")
+		scale    = flag.Int("scale", 0, "problem scale (0 = workload default)")
+		units    = flag.Int("units", 8, "processing units (0 = interpret only, 1 = scalar)")
+		width    = flag.Int("width", 1, "issue width per unit (1 or 2)")
+		ooo      = flag.Bool("ooo", false, "out-of-order issue within units")
+		list     = flag.Bool("list", false, "list benchmark names")
+		trace    = flag.Bool("trace", false, "print a per-cycle pipeline trace (multiscalar only)")
+		showOut  = flag.Bool("out", false, "print the program's output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range multiscalar.WorkloadNames() {
+			w := multiscalar.GetWorkload(n)
+			fmt.Printf("%-10s %s\n", n, w.Description)
+		}
+		return
+	}
+
+	prog, err := buildProgram(*workload, *file, *scale, *units)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *units <= 0 {
+		res, err := multiscalar.Interpret(prog, 1<<40)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("instructions: %d\nexit code: %d\n", res.Instructions, res.ExitCode)
+		if *showOut {
+			fmt.Printf("output: %s\n", res.Out)
+		}
+		return
+	}
+
+	var cfg multiscalar.Config
+	if *units == 1 {
+		cfg = multiscalar.ScalarConfig(*width, *ooo)
+	} else {
+		cfg = multiscalar.DefaultConfig(*units, *width, *ooo)
+		if *trace {
+			cfg.Trace = os.Stdout
+		}
+	}
+	res, err := multiscalar.Verify(prog, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cycles:       %d\n", res.Cycles)
+	fmt.Printf("instructions: %d\n", res.Committed)
+	fmt.Printf("IPC:          %.3f\n", res.IPC())
+	if *units > 1 {
+		fmt.Printf("tasks:        %d retired, %d squashed (control %d, memory %d, arb %d)\n",
+			res.TasksRetired, res.TasksSquashed, res.CtlSquashes, res.MemSquashes, res.ARBSquashes)
+		fmt.Printf("prediction:   %.1f%% of %d\n", 100*res.PredAccuracy(), res.Predictions)
+		total := float64(res.Cycles) * float64(*units)
+		fmt.Printf("unit-cycles:  compute %.1f%%, wait-pred %.1f%%, wait-intra %.1f%%, wait-retire %.1f%%, idle %.1f%%, squashed %.1f%%\n",
+			100*float64(res.Activity[pu.ActCompute])/total,
+			100*float64(res.Activity[pu.ActWaitPred])/total,
+			100*float64(res.Activity[pu.ActWaitIntra])/total,
+			100*float64(res.Activity[pu.ActWaitRetire])/total,
+			100*float64(res.Activity[pu.ActIdle])/total,
+			100*float64(res.SquashedCycles)/total)
+	}
+	fmt.Printf("memory:       %d icache misses, %d dcache misses, %d bank conflicts, %d bus requests\n",
+		res.ICacheMisses, res.DCacheMisses, res.DBankConflicts, res.BusRequests)
+	if res.ARBViolations+res.ARBStoreForwards > 0 {
+		fmt.Printf("arb:          %d violations, %d store-forwards, %d overflows\n",
+			res.ARBViolations, res.ARBStoreForwards, res.ARBOverflows)
+	}
+	if *showOut {
+		fmt.Printf("output: %s\n", res.Out)
+	}
+}
+
+func buildProgram(workload, file string, scale, units int) (*multiscalar.Program, error) {
+	mode := multiscalar.ModeMultiscalar
+	if units == 1 || units == 0 {
+		mode = multiscalar.ModeScalar
+	}
+	if workload != "" {
+		w := multiscalar.GetWorkload(workload)
+		if w == nil {
+			return nil, fmt.Errorf("unknown workload %q (try -list)", workload)
+		}
+		return w.Build(mode, scale)
+	}
+	if file == "" {
+		return nil, fmt.Errorf("one of -w or -f is required")
+	}
+	if strings.HasSuffix(file, ".msb") {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return multiscalar.LoadProgram(f)
+	}
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	return multiscalar.Assemble(string(src), mode)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mssim:", err)
+	os.Exit(1)
+}

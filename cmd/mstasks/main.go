@@ -1,0 +1,84 @@
+// mstasks runs the automatic task partitioner over an un-annotated
+// assembly file and reports the resulting control flow graph and task
+// structure: blocks, loops, task entries, create masks (after dead
+// register trimming), forward-bit placements and stop conditions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/taskpart"
+)
+
+func main() {
+	var suppress = flag.String("suppress", "", "comma-separated functions to suppress into callers")
+	var suppressAll = flag.Bool("suppress-all", false, "absorb every call into the calling task")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mstasks [-suppress f,g] [-suppress-all] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	p, err := asm.Assemble(string(src), asm.ModeMultiscalar)
+	if err != nil {
+		fatal(err)
+	}
+	opt := taskpart.Options{SuppressAllCalls: *suppressAll}
+	if *suppress != "" {
+		opt.SuppressFuncs = strings.Split(*suppress, ",")
+	}
+	part, err := taskpart.Run(p, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	g := part.Graph
+	fmt.Printf("%d blocks, %d loops, %d functions, %d tasks\n\n",
+		len(g.Blocks), len(g.Loops), len(g.Funcs), len(part.Tasks))
+
+	fmt.Println("blocks:")
+	for _, b := range g.Blocks {
+		var tags []string
+		if b.Loop != nil {
+			tags = append(tags, fmt.Sprintf("loop-depth %d", b.Loop.Depth))
+		}
+		if b.Returns {
+			tags = append(tags, "returns")
+		}
+		if b.CallTarget != 0 {
+			tags = append(tags, fmt.Sprintf("calls 0x%x", b.CallTarget))
+		}
+		fmt.Printf("  %-18s def=%v use=%v live-out=%v %s\n",
+			b, b.Def, b.Use, b.LiveOut, strings.Join(tags, " "))
+	}
+
+	fmt.Println("\ntasks:")
+	for _, t := range part.Tasks {
+		fmt.Printf("  %s\n", t.Desc)
+		for _, b := range t.Blocks {
+			fmt.Printf("    %s\n", b)
+		}
+	}
+
+	fmt.Println("\nannotated instructions:")
+	for i := range p.Text {
+		in := &p.Text[i]
+		if !in.Fwd && in.Stop == isa.StopNone {
+			continue
+		}
+		fmt.Printf("  0x%04x  %s\n", isa.TextBase+uint32(i)*isa.InstrSize, in)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mstasks:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,359 @@
+// Package arb implements the Address Resolution Buffer (Section 2.3 of
+// the paper; Franklin & Sohi's ARB). The ARB holds the speculative memory
+// operations of all active tasks: stores live here (the data cache is
+// never updated speculatively) and update the cache only when their task
+// retires; loads record load bits so that a later store from a
+// predecessor task to the same location is detected as a memory-order
+// violation and triggers a squash.
+//
+// Granularity: entries cover 8-byte chunks with per-byte load and store
+// tracking, so mixed byte/halfword/word/double traffic to nearby
+// addresses never produces false dependences. Stage ordering follows the
+// circular unit queue: distance from the head determines predecessor/
+// successor relationships.
+package arb
+
+import (
+	"fmt"
+
+	"multiscalar/internal/mem"
+)
+
+// MaxUnits bounds the number of processing units an ARB can track.
+const MaxUnits = 32
+
+// OverflowPolicy selects what happens when a bank runs out of entries.
+type OverflowPolicy int
+
+const (
+	// PolicyStall makes non-head units wait until the head retires and
+	// frees entries (the paper's "less drastic alternative").
+	PolicyStall OverflowPolicy = iota
+	// PolicySquash frees space by squashing the youngest tasks (the
+	// paper's "simple solution" that guarantees forward progress).
+	PolicySquash
+)
+
+func (p OverflowPolicy) String() string {
+	if p == PolicySquash {
+		return "squash"
+	}
+	return "stall"
+}
+
+const chunkBytes = 8
+
+type entry struct {
+	chunk  uint32             // address >> 3
+	loads  [chunkBytes]uint32 // per byte: bit u set => unit u loaded it from elsewhere
+	stores [chunkBytes]uint32 // per byte: bit u set => unit u stored it
+	data   [MaxUnits][8]byte  // per unit speculative store bytes
+}
+
+func (e *entry) empty() bool {
+	for i := 0; i < chunkBytes; i++ {
+		if e.loads[i] != 0 || e.stores[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ARB is the address resolution buffer, partitioned into banks that match
+// the data-cache banks.
+type ARB struct {
+	NumUnits       int
+	NumBanks       int
+	EntriesPerBank int
+	Policy         OverflowPolicy
+
+	banks []map[uint32]*entry
+
+	// Stats
+	Violations    uint64
+	Overflows     uint64
+	StoreForwards uint64 // load bytes supplied by a buffered store
+	LoadsTracked  uint64
+	StoresTracked uint64
+}
+
+// New builds an ARB. numBanks and entriesPerBank mirror the data-cache
+// banking (paper: 256 entries per bank).
+func New(numUnits, numBanks, entriesPerBank int, policy OverflowPolicy) *ARB {
+	if numUnits > MaxUnits {
+		panic(fmt.Sprintf("arb: %d units exceeds MaxUnits", numUnits))
+	}
+	a := &ARB{
+		NumUnits:       numUnits,
+		NumBanks:       numBanks,
+		EntriesPerBank: entriesPerBank,
+		Policy:         policy,
+	}
+	a.banks = make([]map[uint32]*entry, numBanks)
+	for i := range a.banks {
+		a.banks[i] = make(map[uint32]*entry)
+	}
+	return a
+}
+
+func (a *ARB) bankOf(chunk uint32) int { return int(chunk) % a.NumBanks }
+
+// dist is the stage distance of unit u from the head in circular order.
+func (a *ARB) dist(u, head int) int { return (u - head + a.NumUnits) % a.NumUnits }
+
+// find returns the entry for a chunk, or nil.
+func (a *ARB) find(chunk uint32) *entry {
+	return a.banks[a.bankOf(chunk)][chunk]
+}
+
+// alloc returns the entry for a chunk, allocating it if needed. ok=false
+// means the bank is full (the caller applies the overflow policy).
+func (a *ARB) alloc(chunk uint32) (*entry, bool) {
+	bank := a.banks[a.bankOf(chunk)]
+	if e := bank[chunk]; e != nil {
+		return e, true
+	}
+	if len(bank) >= a.EntriesPerBank {
+		a.Overflows++
+		return nil, false
+	}
+	e := &entry{chunk: chunk}
+	bank[chunk] = e
+	return e, true
+}
+
+// LoadResult is the outcome of an ARB load.
+type LoadResult struct {
+	Value    uint64 // raw big-endian value, low `size` bytes
+	Overflow bool   // bank full and the load-bit could not be recorded
+}
+
+// Load performs a speculative load for `unit` (with the given head and
+// active-unit count): each byte comes from the nearest predecessor (or
+// own) buffered store, falling back to backing memory. Load bits are
+// recorded for non-head units so future predecessor stores can detect a
+// violation. Aligned accesses never straddle a chunk.
+func (a *ARB) Load(unit, head, active int, addr uint32, size int, backing *mem.Memory) LoadResult {
+	chunk := addr / chunkBytes
+	off := int(addr % chunkBytes)
+	du := a.dist(unit, head)
+
+	e := a.find(chunk)
+	needTrack := du > 0 // head loads need no load bits
+	if e == nil && needTrack {
+		var ok bool
+		e, ok = a.alloc(chunk)
+		if !ok {
+			return LoadResult{Overflow: true}
+		}
+	}
+
+	var val uint64
+	for i := 0; i < size; i++ {
+		b := off + i
+		byteVal := backing.Byte(addr + uint32(i))
+		supplier := -1
+		if e != nil {
+			bestDist := -1
+			for u := 0; u < a.NumUnits; u++ {
+				if e.stores[b]&(1<<uint(u)) == 0 {
+					continue
+				}
+				d := a.dist(u, head)
+				if d >= active || d > du {
+					continue
+				}
+				if d > bestDist {
+					bestDist, supplier = d, u
+				}
+			}
+			if supplier >= 0 {
+				byteVal = e.data[supplier][b]
+				a.StoreForwards++
+			}
+		}
+		if needTrack && supplier != unit {
+			e.loads[b] |= 1 << uint(unit)
+		}
+		val = val<<8 | uint64(byteVal)
+	}
+	a.LoadsTracked++
+	return LoadResult{Value: val}
+}
+
+// StoreResult is the outcome of an ARB store.
+type StoreResult struct {
+	// Violator is the distance-earliest successor unit whose earlier load
+	// of one of these bytes is now stale; -1 if none. The core squashes
+	// that unit and all its successors.
+	Violator int
+	// Overflow means the bank was full and the store could not be
+	// buffered; for the head unit the caller may write memory directly
+	// instead (head stores are non-speculative).
+	Overflow bool
+}
+
+// Store buffers a speculative store and checks for memory-order
+// violations among the active successor units.
+func (a *ARB) Store(unit, head, active int, addr uint32, size int, value uint64) StoreResult {
+	chunk := addr / chunkBytes
+	off := int(addr % chunkBytes)
+	du := a.dist(unit, head)
+
+	e, ok := a.alloc(chunk)
+	if !ok {
+		return StoreResult{Violator: -1, Overflow: true}
+	}
+
+	violator := -1
+	violDist := a.NumUnits + 1
+	for i := size - 1; i >= 0; i-- {
+		b := off + i
+		e.data[unit][b] = byte(value)
+		value >>= 8
+		e.stores[b] |= 1 << uint(unit)
+
+		// Violation scan: a later unit w that loaded byte b from a stage
+		// at or before `unit` (no intervening store between unit and w)
+		// read a value this store supersedes.
+		for w := 0; w < a.NumUnits; w++ {
+			dw := a.dist(w, head)
+			if dw <= du || dw >= active {
+				continue
+			}
+			if e.loads[b]&(1<<uint(w)) == 0 {
+				continue
+			}
+			intervening := false
+			for x := 0; x < a.NumUnits; x++ {
+				dx := a.dist(x, head)
+				if dx > du && dx < dw && e.stores[b]&(1<<uint(x)) != 0 {
+					intervening = true
+					break
+				}
+			}
+			if !intervening && dw < violDist {
+				violDist, violator = dw, w
+			}
+		}
+	}
+	if violator >= 0 {
+		a.Violations++
+	}
+	a.StoresTracked++
+	return StoreResult{Violator: violator}
+}
+
+// ClearUnit erases all of a squashed unit's load bits, store bits, and
+// buffered data, freeing entries that become empty.
+func (a *ARB) ClearUnit(unit int) {
+	bit := uint32(1) << uint(unit)
+	for _, bank := range a.banks {
+		for chunk, e := range bank {
+			for b := 0; b < chunkBytes; b++ {
+				e.loads[b] &^= bit
+				e.stores[b] &^= bit
+			}
+			e.data[unit] = [8]byte{}
+			if e.empty() {
+				delete(bank, chunk)
+			}
+		}
+	}
+}
+
+// Commit drains the retiring head unit's buffered stores into backing
+// memory and clears its bits. It returns the number of chunks written
+// (the data-cache update traffic at retire).
+func (a *ARB) Commit(unit int, backing *mem.Memory) int {
+	bit := uint32(1) << uint(unit)
+	written := 0
+	for _, bank := range a.banks {
+		for chunk, e := range bank {
+			wrote := false
+			for b := 0; b < chunkBytes; b++ {
+				if e.stores[b]&bit != 0 {
+					backing.SetByte(e.chunk*chunkBytes+uint32(b), e.data[unit][b])
+					e.stores[b] &^= bit
+					wrote = true
+				}
+				e.loads[b] &^= bit
+			}
+			if wrote {
+				written++
+			}
+			e.data[unit] = [8]byte{}
+			if e.empty() {
+				delete(bank, chunk)
+			}
+		}
+	}
+	return written
+}
+
+// View reads memory as `unit` would see it (ARB first, then backing) —
+// used by syscalls that read buffers written earlier in the same task.
+type View struct {
+	ARB     *ARB
+	Unit    int
+	Head    int
+	Active  int
+	Backing *mem.Memory
+}
+
+// Byte implements interp.MemReader over the speculative view. It does not
+// record load bits (syscalls execute at the head, non-speculatively).
+func (v *View) Byte(addr uint32) byte {
+	chunk := addr / chunkBytes
+	b := int(addr % chunkBytes)
+	if e := v.ARB.find(chunk); e != nil {
+		du := v.ARB.dist(v.Unit, v.Head)
+		best, supplier := -1, -1
+		for u := 0; u < v.ARB.NumUnits; u++ {
+			if e.stores[b]&(1<<uint(u)) == 0 {
+				continue
+			}
+			d := v.ARB.dist(u, v.Head)
+			if d >= v.Active || d > du {
+				continue
+			}
+			if d > best {
+				best, supplier = d, u
+			}
+		}
+		if supplier >= 0 {
+			return e.data[supplier][b]
+		}
+	}
+	return v.Backing.Byte(addr)
+}
+
+// Occupancy returns the total entries in use (for stats / stall policy).
+func (a *ARB) Occupancy() int {
+	n := 0
+	for _, bank := range a.banks {
+		n += len(bank)
+	}
+	return n
+}
+
+// BankFull reports whether the bank holding addr has no free entries and
+// no existing entry for that address — i.e. a new operation there would
+// overflow.
+func (a *ARB) BankFull(addr uint32) bool {
+	chunk := addr / chunkBytes
+	bank := a.banks[a.bankOf(chunk)]
+	if _, ok := bank[chunk]; ok {
+		return false
+	}
+	return len(bank) >= a.EntriesPerBank
+}
+
+// Reset clears everything.
+func (a *ARB) Reset() {
+	for i := range a.banks {
+		a.banks[i] = make(map[uint32]*entry)
+	}
+	a.Violations, a.Overflows, a.StoreForwards = 0, 0, 0
+	a.LoadsTracked, a.StoresTracked = 0, 0
+}

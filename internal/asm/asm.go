@@ -1,0 +1,381 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"multiscalar/internal/isa"
+)
+
+// Mode selects which binary a single annotated source produces.
+type Mode int
+
+const (
+	// ModeScalar strips all multiscalar information: .task directives and
+	// annotation bits are dropped, .msonly lines are skipped, .sconly
+	// lines are kept. Release instructions are rejected outside .msonly
+	// lines.
+	ModeScalar Mode = iota
+	// ModeMultiscalar keeps task descriptors and tag bits, skips .sconly
+	// lines, and keeps .msonly lines.
+	ModeMultiscalar
+)
+
+func (m Mode) String() string {
+	if m == ModeScalar {
+		return "scalar"
+	}
+	return "multiscalar"
+}
+
+// Assemble translates source text into a program image for the given mode.
+func Assemble(src string, mode Mode) (*isa.Program, error) {
+	a := &assembler{
+		mode:    mode,
+		symbols: make(map[string]uint32),
+		prog: &isa.Program{
+			Tasks:   make(map[uint32]*isa.TaskDescriptor),
+			Symbols: nil,
+		},
+	}
+	if err := a.pass1(src); err != nil {
+		return nil, err
+	}
+	if err := a.pass2(); err != nil {
+		return nil, err
+	}
+	a.prog.Symbols = a.symbols
+	if err := a.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return a.prog, nil
+}
+
+// pendingInstr is an instruction statement awaiting symbol resolution.
+type pendingInstr struct {
+	line     int
+	addr     uint32 // address of first emitted instruction
+	size     int    // number of emitted instructions
+	mnemonic string
+	operands [][]token
+	fwd      bool
+	stop     isa.StopCond
+}
+
+// pendingPatch is a data word that references a symbol.
+type pendingPatch struct {
+	line   int
+	offset int // into data buffer
+	size   int // 4
+	toks   []token
+}
+
+// pendingTask is a .task directive awaiting symbol resolution.
+type pendingTask struct {
+	line int
+	args map[string][]token
+	name string
+}
+
+type assembler struct {
+	mode    Mode
+	symbols map[string]uint32
+	prog    *isa.Program
+
+	inData  bool
+	textPos uint32 // next instruction address
+	data    []byte
+
+	instrs  []pendingInstr
+	patches []pendingPatch
+	tasks   []pendingTask
+	entry   string // .global name
+}
+
+func (a *assembler) errf(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("asm: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (a *assembler) here() uint32 {
+	if a.inData {
+		return isa.DataBase + uint32(len(a.data))
+	}
+	return a.textPos
+}
+
+func (a *assembler) define(line int, name string) error {
+	if _, dup := a.symbols[name]; dup {
+		return a.errf(line, "duplicate label %q", name)
+	}
+	a.symbols[name] = a.here()
+	return nil
+}
+
+func (a *assembler) pass1(src string) error {
+	a.textPos = isa.TextBase
+	for ln, raw := range strings.Split(src, "\n") {
+		line := ln + 1
+		toks, err := lexLine(stripComment(raw))
+		if err != nil {
+			return a.errf(line, "%v", err)
+		}
+		// Leading labels: IDENT ':'.
+		var labels []string
+		for len(toks) >= 2 && toks[0].kind == tokIdent && toks[1].kind == tokPunct && toks[1].text == ":" {
+			labels = append(labels, toks[0].text)
+			toks = toks[2:]
+		}
+		// A label on the same line as an aligning data directive must
+		// name the aligned address, so align before defining it.
+		if a.inData && len(toks) > 0 && toks[0].kind == tokDirective {
+			switch toks[0].text {
+			case ".half":
+				a.alignData(2)
+			case ".word", ".float":
+				a.alignData(4)
+			case ".double":
+				a.alignData(8)
+			}
+		}
+		for _, lbl := range labels {
+			if err := a.define(line, lbl); err != nil {
+				return err
+			}
+		}
+		if len(toks) == 0 {
+			continue
+		}
+		// Conditional-build prefixes.
+		if toks[0].kind == tokDirective && (toks[0].text == ".msonly" || toks[0].text == ".sconly") {
+			want := ModeMultiscalar
+			if toks[0].text == ".sconly" {
+				want = ModeScalar
+			}
+			if a.mode != want {
+				continue
+			}
+			toks = toks[1:]
+			if len(toks) == 0 {
+				continue
+			}
+		}
+		if toks[0].kind == tokDirective {
+			if err := a.directive(line, toks); err != nil {
+				return err
+			}
+			continue
+		}
+		if toks[0].kind != tokIdent {
+			return a.errf(line, "expected instruction or directive")
+		}
+		if a.inData {
+			return a.errf(line, "instruction %q in .data section", toks[0].text)
+		}
+		if err := a.instruction(line, toks); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// instruction records a pending instruction after sizing its expansion.
+func (a *assembler) instruction(line int, toks []token) error {
+	mn := toks[0].text
+	rest := toks[1:]
+
+	// Trailing annotations.
+	fwd := false
+	stop := isa.StopNone
+	for len(rest) > 0 && rest[len(rest)-1].kind == tokAnnot {
+		switch rest[len(rest)-1].text {
+		case "!f":
+			fwd = true
+		case "!s":
+			stop = isa.StopAlways
+		case "!st":
+			stop = isa.StopTaken
+		case "!snt":
+			stop = isa.StopNotTaken
+		}
+		rest = rest[:len(rest)-1]
+	}
+	if a.mode == ModeScalar {
+		fwd, stop = false, isa.StopNone
+		if mn == "release" {
+			return a.errf(line, "release is multiscalar-only; prefix the line with .msonly")
+		}
+	}
+
+	ops, err := splitOperands(rest)
+	if err != nil {
+		return a.errf(line, "%v", err)
+	}
+	size, err := expansionSize(mn, ops)
+	if err != nil {
+		return a.errf(line, "%v", err)
+	}
+	a.instrs = append(a.instrs, pendingInstr{
+		line: line, addr: a.textPos, size: size,
+		mnemonic: mn, operands: ops, fwd: fwd, stop: stop,
+	})
+	a.textPos += uint32(size) * isa.InstrSize
+	return nil
+}
+
+// splitOperands splits the token list on top-level commas.
+func splitOperands(toks []token) ([][]token, error) {
+	if len(toks) == 0 {
+		return nil, nil
+	}
+	var out [][]token
+	start := 0
+	depth := 0
+	for i, t := range toks {
+		if t.kind == tokPunct {
+			switch t.text {
+			case "(":
+				depth++
+			case ")":
+				depth--
+				if depth < 0 {
+					return nil, fmt.Errorf("unbalanced ')'")
+				}
+			case ",":
+				if depth == 0 {
+					if i == start {
+						return nil, fmt.Errorf("empty operand")
+					}
+					out = append(out, toks[start:i])
+					start = i + 1
+				}
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced '('")
+	}
+	if start >= len(toks) {
+		return nil, fmt.Errorf("trailing comma")
+	}
+	out = append(out, toks[start:])
+	return out, nil
+}
+
+func (a *assembler) pass2() error {
+	a.prog.Data = a.data
+	// Resolve entry.
+	entryName := a.entry
+	if entryName == "" {
+		if _, ok := a.symbols["main"]; ok {
+			entryName = "main"
+		}
+	}
+	if entryName != "" {
+		addr, ok := a.symbols[entryName]
+		if !ok {
+			return fmt.Errorf("asm: entry symbol %q undefined", entryName)
+		}
+		a.prog.Entry = addr
+	} else {
+		a.prog.Entry = isa.TextBase
+	}
+
+	// Emit instructions.
+	text := make([]isa.Instr, 0, (a.textPos-isa.TextBase)/isa.InstrSize)
+	for i := range a.instrs {
+		pi := &a.instrs[i]
+		emitted, err := a.emit(pi)
+		if err != nil {
+			return err
+		}
+		if len(emitted) != pi.size {
+			return a.errf(pi.line, "internal: expansion size mismatch for %q (%d vs %d)",
+				pi.mnemonic, len(emitted), pi.size)
+		}
+		text = append(text, emitted...)
+	}
+	a.prog.Text = text
+
+	// Patch data words that reference symbols.
+	for _, p := range a.patches {
+		v, err := a.evalExpr(p.line, p.toks)
+		if err != nil {
+			return err
+		}
+		off := p.offset
+		a.prog.Data[off] = byte(v >> 24)
+		a.prog.Data[off+1] = byte(v >> 16)
+		a.prog.Data[off+2] = byte(v >> 8)
+		a.prog.Data[off+3] = byte(v)
+	}
+
+	// Resolve task descriptors.
+	if a.mode == ModeMultiscalar {
+		for _, pt := range a.tasks {
+			if err := a.resolveTask(pt); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// evalExpr evaluates ['-'] term (('+'|'-') term)* where term is a number
+// or a defined symbol.
+func (a *assembler) evalExpr(line int, toks []token) (int64, error) {
+	if len(toks) == 0 {
+		return 0, a.errf(line, "empty expression")
+	}
+	pos := 0
+	neg := false
+	if toks[0].kind == tokPunct && (toks[0].text == "-" || toks[0].text == "+") {
+		neg = toks[0].text == "-"
+		pos = 1
+	}
+	term := func() (int64, error) {
+		if pos >= len(toks) {
+			return 0, a.errf(line, "expression ends unexpectedly")
+		}
+		t := toks[pos]
+		pos++
+		switch t.kind {
+		case tokNum:
+			if t.isFloat {
+				return 0, a.errf(line, "float %q in integer expression", t.text)
+			}
+			return t.num, nil
+		case tokIdent:
+			v, ok := a.symbols[t.text]
+			if !ok {
+				return 0, a.errf(line, "undefined symbol %q", t.text)
+			}
+			return int64(v), nil
+		default:
+			return 0, a.errf(line, "unexpected token %q in expression", t.text)
+		}
+	}
+	v, err := term()
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		v = -v
+	}
+	for pos < len(toks) {
+		t := toks[pos]
+		if t.kind != tokPunct || (t.text != "+" && t.text != "-") {
+			return 0, a.errf(line, "unexpected token %q in expression", t.text)
+		}
+		pos++
+		w, err := term()
+		if err != nil {
+			return 0, err
+		}
+		if t.text == "+" {
+			v += w
+		} else {
+			v -= w
+		}
+	}
+	return v, nil
+}

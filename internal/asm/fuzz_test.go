@@ -1,0 +1,27 @@
+package asm
+
+import "testing"
+
+// FuzzAssemble: the assembler must reject arbitrary input with an error,
+// never a panic. Run with `go test -fuzz FuzzAssemble ./internal/asm`.
+func FuzzAssemble(f *testing.F) {
+	f.Add("main:\n\tli $t0, 1\n\tsyscall\n")
+	f.Add("main:\n\tadd $t0, $t1, $t2 !f !s\n.task main targets=main create=$t0\n")
+	f.Add(".data\nx:\t.word 1, x+4\n.text\nmain:\n\tlw $t0, x($gp)\n")
+	f.Add("main:\n\tblt $t0, $t1, main\n\trelease $t0, $f3\n")
+	f.Add(".msonly move $t9, $s0\n.sconly nop\nmain:\n\tj main !st\n")
+	f.Add("main:\n\tli $t0, '\\n'\n\t.asciiz \"a\\\"b\"\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		for _, mode := range []Mode{ModeScalar, ModeMultiscalar} {
+			p, err := Assemble(src, mode)
+			if err == nil && p != nil {
+				// Anything that assembles must also produce a listing and
+				// survive a re-validate.
+				_ = Listing(p)
+				if verr := p.Validate(); verr != nil {
+					t.Fatalf("assembled program fails validation: %v", verr)
+				}
+			}
+		}
+	})
+}

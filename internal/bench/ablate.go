@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"multiscalar/internal/arb"
+	"multiscalar/internal/asm"
+	"multiscalar/internal/core"
+	"multiscalar/internal/interp"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/workloads"
+)
+
+// AblationRow is one configuration point of an ablation sweep.
+type AblationRow struct {
+	Label   string
+	Cycles  uint64
+	Speedup float64 // vs the sweep's baseline row
+	Extra   string
+}
+
+// runMSConfig runs one workload's multiscalar binary under cfg, verifying
+// against the oracle; prog may be pre-transformed.
+func runMSConfig(p *isa.Program, cfg core.Config) (*core.Result, error) {
+	want, wout, err := oracleCount(p)
+	if err != nil {
+		return nil, err
+	}
+	env := interp.NewSysEnv()
+	m, err := core.NewMultiscalar(p, env, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	if res.Out != wout || res.Committed != want {
+		return nil, fmt.Errorf("ablation run diverged from oracle")
+	}
+	return res, nil
+}
+
+// UnitSweep measures cycles across unit counts (the window-size knob the
+// whole paradigm turns on).
+func UnitSweep(name string, scale Scale, counts []int) ([]AblationRow, error) {
+	w := workloads.Get(name)
+	if w == nil {
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	p, err := w.Build(asm.ModeMultiscalar, scale.of(w))
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	var base uint64
+	for _, n := range counts {
+		res, err := runMSConfig(p, core.DefaultConfig(n, 1, false))
+		if err != nil {
+			return nil, fmt.Errorf("units=%d: %w", n, err)
+		}
+		if base == 0 {
+			base = res.Cycles
+		}
+		rows = append(rows, AblationRow{
+			Label:   fmt.Sprintf("%d units", n),
+			Cycles:  res.Cycles,
+			Speedup: float64(base) / float64(res.Cycles),
+			Extra:   fmt.Sprintf("pred=%.1f%% squash=%d", 100*res.PredAccuracy(), res.TasksSquashed),
+		})
+	}
+	return rows, nil
+}
+
+// RingLatencySweep varies the per-hop forwarding latency (Section 5.1
+// uses 1 cycle).
+func RingLatencySweep(name string, scale Scale, latencies []int) ([]AblationRow, error) {
+	w := workloads.Get(name)
+	if w == nil {
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	p, err := w.Build(asm.ModeMultiscalar, scale.of(w))
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	var base uint64
+	for _, l := range latencies {
+		cfg := core.DefaultConfig(8, 1, false)
+		cfg.RingLatency = l
+		res, err := runMSConfig(p, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ring=%d: %w", l, err)
+		}
+		if base == 0 {
+			base = res.Cycles
+		}
+		rows = append(rows, AblationRow{
+			Label:   fmt.Sprintf("ring hop %d cycles", l),
+			Cycles:  res.Cycles,
+			Speedup: float64(base) / float64(res.Cycles),
+		})
+	}
+	return rows, nil
+}
+
+// ARBSweep varies ARB capacity under both overflow policies (Section 2.3
+// discusses squash-on-full vs stall-but-head).
+func ARBSweep(name string, scale Scale, entries []int) ([]AblationRow, error) {
+	w := workloads.Get(name)
+	if w == nil {
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	p, err := w.Build(asm.ModeMultiscalar, scale.of(w))
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	var base uint64
+	for _, policy := range []arb.OverflowPolicy{arb.PolicyStall, arb.PolicySquash} {
+		for _, n := range entries {
+			cfg := core.DefaultConfig(8, 1, false)
+			cfg.ARBEntries = n
+			cfg.ARBPolicy = policy
+			res, err := runMSConfig(p, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("arb=%d/%v: %w", n, policy, err)
+			}
+			if base == 0 {
+				base = res.Cycles
+			}
+			rows = append(rows, AblationRow{
+				Label:   fmt.Sprintf("%d entries, %v", n, policy),
+				Cycles:  res.Cycles,
+				Speedup: float64(base) / float64(res.Cycles),
+				Extra:   fmt.Sprintf("overflows=%d arb-squashes=%d", res.ARBOverflows, res.ARBSquashes),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// stripForwarding clears every forward bit and neuters release
+// instructions, leaving only the completion flush to communicate values —
+// the non-expedient strategy Section 2.2 warns against.
+func stripForwarding(p *isa.Program) {
+	for i := range p.Text {
+		p.Text[i].Fwd = false
+		if p.Text[i].Op == isa.OpRelease {
+			p.Text[i].Op = isa.OpNop
+		}
+	}
+}
+
+// ForwardingAblation compares early forwarding (forward bits + releases)
+// against completion-flush-only on 8 units.
+func ForwardingAblation(name string, scale Scale) ([]AblationRow, error) {
+	w := workloads.Get(name)
+	if w == nil {
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	p, err := w.Build(asm.ModeMultiscalar, scale.of(w))
+	if err != nil {
+		return nil, err
+	}
+	withFwd, err := runMSConfig(p, core.DefaultConfig(8, 1, false))
+	if err != nil {
+		return nil, err
+	}
+	p2, err := w.Build(asm.ModeMultiscalar, scale.of(w))
+	if err != nil {
+		return nil, err
+	}
+	stripForwarding(p2)
+	without, err := runMSConfig(p2, core.DefaultConfig(8, 1, false))
+	if err != nil {
+		return nil, err
+	}
+	return []AblationRow{
+		{Label: "forward bits + releases", Cycles: withFwd.Cycles, Speedup: 1},
+		{Label: "completion flush only", Cycles: without.Cycles,
+			Speedup: float64(withFwd.Cycles) / float64(without.Cycles)},
+	}, nil
+}
+
+// PredictorAblation compares the PAs task predictor against static
+// first-target prediction on 8 units.
+func PredictorAblation(name string, scale Scale) ([]AblationRow, error) {
+	w := workloads.Get(name)
+	if w == nil {
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	p, err := w.Build(asm.ModeMultiscalar, scale.of(w))
+	if err != nil {
+		return nil, err
+	}
+	pas, err := runMSConfig(p, core.DefaultConfig(8, 1, false))
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig(8, 1, false)
+	cfg.StaticPredict = true
+	static, err := runMSConfig(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []AblationRow{
+		{Label: "PAs two-level predictor", Cycles: pas.Cycles, Speedup: 1,
+			Extra: fmt.Sprintf("pred=%.1f%%", 100*pas.PredAccuracy())},
+		{Label: "static first-target", Cycles: static.Cycles,
+			Speedup: float64(pas.Cycles) / float64(static.Cycles),
+			Extra:   fmt.Sprintf("pred=%.1f%%", 100*static.PredAccuracy())},
+	}, nil
+}
+
+// FormatAblation renders one sweep.
+func FormatAblation(title string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-28s %10d cycles  %6.2fx  %s\n", r.Label, r.Cycles, r.Speedup, r.Extra)
+	}
+	return b.String()
+}
+
+// SharedFUAblation compares private per-unit FP/complex units (the paper's
+// Figure 1 organization) against the shared-FU alternative
+// microarchitecture sketched in Section 2.3, on 8 units.
+func SharedFUAblation(name string, scale Scale) ([]AblationRow, error) {
+	w := workloads.Get(name)
+	if w == nil {
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	p, err := w.Build(asm.ModeMultiscalar, scale.of(w))
+	if err != nil {
+		return nil, err
+	}
+	private, err := runMSConfig(p, core.DefaultConfig(8, 1, false))
+	if err != nil {
+		return nil, err
+	}
+	rows := []AblationRow{{Label: "private FUs (Figure 1)", Cycles: private.Cycles, Speedup: 1}}
+	for _, n := range []int{2, 1} {
+		cfg := core.DefaultConfig(8, 1, false)
+		cfg.SharedFPUnits = n
+		res, err := runMSConfig(p, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("shared=%d: %w", n, err)
+		}
+		rows = append(rows, AblationRow{
+			Label:   fmt.Sprintf("%d shared FP/complex units", n),
+			Cycles:  res.Cycles,
+			Speedup: float64(private.Cycles) / float64(res.Cycles),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,263 @@
+// Package bench regenerates the paper's evaluation: Table 2 (dynamic
+// instruction counts), Table 3 (in-order units) and Table 4 (out-of-order
+// units), the Section 3 cycle-distribution breakdown, and the ablation
+// studies over the design choices DESIGN.md calls out. It is shared by
+// the msbench command and the repository's testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/core"
+	"multiscalar/internal/interp"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/pu"
+	"multiscalar/internal/workloads"
+)
+
+// Scale chooses the problem size: 0 uses each workload's default (the
+// full benchmark runs), negative uses its fast test scale.
+type Scale int
+
+func (s Scale) of(w *workloads.Workload) int {
+	switch {
+	case s > 0:
+		return int(s)
+	case s < 0:
+		return w.TestScale
+	default:
+		return w.DefaultScale
+	}
+}
+
+// oracleCount runs the interpreter and returns the dynamic instruction
+// count and the reference output.
+func oracleCount(p *isa.Program) (uint64, string, error) {
+	env := interp.NewSysEnv()
+	m := interp.NewMachine(p, env)
+	if err := m.Run(1 << 40); err != nil {
+		return 0, "", err
+	}
+	return m.ICount, env.Out.String(), nil
+}
+
+// Table2Row is one benchmark's dynamic instruction counts.
+type Table2Row struct {
+	Name          string
+	Scalar, Multi uint64
+	PctIncrease   float64
+	PaperPct      float64
+}
+
+// Table2 measures scalar vs multiscalar dynamic instruction counts.
+func Table2(scale Scale) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, w := range workloads.All() {
+		n := scale.of(w)
+		sp, err := w.Build(asm.ModeScalar, n)
+		if err != nil {
+			return nil, err
+		}
+		mp, err := w.Build(asm.ModeMultiscalar, n)
+		if err != nil {
+			return nil, err
+		}
+		sc, sout, err := oracleCount(sp)
+		if err != nil {
+			return nil, fmt.Errorf("%s scalar: %w", w.Name, err)
+		}
+		mc, mout, err := oracleCount(mp)
+		if err != nil {
+			return nil, fmt.Errorf("%s multiscalar: %w", w.Name, err)
+		}
+		if sout != mout {
+			return nil, fmt.Errorf("%s: builds disagree on output", w.Name)
+		}
+		rows = append(rows, Table2Row{
+			Name:        w.Name,
+			Scalar:      sc,
+			Multi:       mc,
+			PctIncrease: 100 * (float64(mc) - float64(sc)) / float64(sc),
+			PaperPct:    w.Paper.PctIncrease,
+		})
+	}
+	return rows, nil
+}
+
+// PerfRow is one benchmark's row of Table 3 or Table 4 for one issue
+// width: scalar IPC, 4/8-unit speedups and prediction accuracies, next to
+// the paper's numbers.
+type PerfRow struct {
+	Name      string
+	ScalarIPC float64
+	Speedup4  float64
+	Pred4     float64 // percent
+	Speedup8  float64
+	Pred8     float64
+	Paper     workloads.PaperPerf
+
+	ScalarCycles, Cycles4, Cycles8 uint64
+	Detail4, Detail8               *core.Result
+}
+
+// runOne simulates one workload at one configuration, verifying against
+// the oracle.
+func runOne(w *workloads.Workload, scale Scale, units, width int, ooo bool) (*core.Result, error) {
+	mode := asm.ModeMultiscalar
+	if units <= 1 {
+		mode = asm.ModeScalar
+	}
+	p, err := w.Build(mode, scale.of(w))
+	if err != nil {
+		return nil, err
+	}
+	want, wout, err := oracleCount(p)
+	if err != nil {
+		return nil, err
+	}
+	env := interp.NewSysEnv()
+	var res *core.Result
+	if units <= 1 {
+		cfg := core.ScalarConfig(width, ooo)
+		res, err = core.NewScalar(p, env, cfg).Run()
+	} else {
+		cfg := core.DefaultConfig(units, width, ooo)
+		m, nerr := core.NewMultiscalar(p, env, cfg)
+		if nerr != nil {
+			return nil, nerr
+		}
+		res, err = m.Run()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s units=%d width=%d ooo=%v: %w", w.Name, units, width, ooo, err)
+	}
+	if res.Out != wout || res.Committed != want {
+		return nil, fmt.Errorf("%s units=%d: diverged from oracle (committed %d vs %d)",
+			w.Name, units, res.Committed, want)
+	}
+	return res, nil
+}
+
+// PerfTable computes Table 3 (outOfOrder=false) or Table 4 (true) for one
+// issue width.
+func PerfTable(width int, outOfOrder bool, scale Scale) ([]PerfRow, error) {
+	var rows []PerfRow
+	for _, w := range workloads.All() {
+		srow, err := runOne(w, scale, 1, width, outOfOrder)
+		if err != nil {
+			return nil, err
+		}
+		r4, err := runOne(w, scale, 4, width, outOfOrder)
+		if err != nil {
+			return nil, err
+		}
+		r8, err := runOne(w, scale, 8, width, outOfOrder)
+		if err != nil {
+			return nil, err
+		}
+		paper := w.Paper.InOrder1
+		switch {
+		case !outOfOrder && width == 2:
+			paper = w.Paper.InOrder2
+		case outOfOrder && width == 1:
+			paper = w.Paper.OOO1
+		case outOfOrder && width == 2:
+			paper = w.Paper.OOO2
+		}
+		rows = append(rows, PerfRow{
+			Name:         w.Name,
+			ScalarIPC:    srow.IPC(),
+			Speedup4:     float64(srow.Cycles) / float64(r4.Cycles),
+			Pred4:        100 * r4.PredAccuracy(),
+			Speedup8:     float64(srow.Cycles) / float64(r8.Cycles),
+			Pred8:        100 * r8.PredAccuracy(),
+			Paper:        paper,
+			ScalarCycles: srow.Cycles,
+			Cycles4:      r4.Cycles,
+			Cycles8:      r8.Cycles,
+			Detail4:      r4,
+			Detail8:      r8,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders Table 2 next to the paper's percentages.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: dynamic instruction counts (scalar vs multiscalar binary)\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s %10s %12s\n", "program", "scalar", "multiscalar", "increase", "paper incr.")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %12d %12d %9.1f%% %11.1f%%\n",
+			r.Name, r.Scalar, r.Multi, r.PctIncrease, r.PaperPct)
+	}
+	return b.String()
+}
+
+// FormatPerfTable renders Table 3 or 4 next to the paper's numbers.
+func FormatPerfTable(title string, rows []PerfRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-10s | %6s %7s %6s %7s %6s | paper: %5s %5s %5s\n",
+		"program", "IPC", "spd4", "pred4", "spd8", "pred8", "IPC", "spd4", "spd8")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s | %6.2f %7.2f %5.1f%% %7.2f %5.1f%% | %12.2f %5.2f %5.2f\n",
+			r.Name, r.ScalarIPC, r.Speedup4, r.Pred4, r.Speedup8, r.Pred8,
+			r.Paper.ScalarIPC, r.Paper.Speedup4, r.Paper.Speedup8)
+	}
+	return b.String()
+}
+
+// BreakdownRow is the Section 3 cycle-distribution of one benchmark at
+// one configuration: how the unit-cycles were spent.
+type BreakdownRow struct {
+	Name       string
+	Units      int
+	Compute    float64 // fractions of all unit-cycles
+	WaitPred   float64
+	WaitIntra  float64
+	WaitRetire float64
+	Idle       float64
+	Squashed   float64 // non-useful computation (Section 3.1)
+}
+
+// Breakdown computes the cycle distribution at `units` 1-way in-order.
+func Breakdown(units int, scale Scale) ([]BreakdownRow, error) {
+	var rows []BreakdownRow
+	for _, w := range workloads.All() {
+		res, err := runOne(w, scale, units, 1, false)
+		if err != nil {
+			return nil, err
+		}
+		total := float64(res.Cycles) * float64(units)
+		rows = append(rows, BreakdownRow{
+			Name:       w.Name,
+			Units:      units,
+			Compute:    float64(res.Activity[pu.ActCompute]) / total,
+			WaitPred:   float64(res.Activity[pu.ActWaitPred]) / total,
+			WaitIntra:  float64(res.Activity[pu.ActWaitIntra]) / total,
+			WaitRetire: float64(res.Activity[pu.ActWaitRetire]) / total,
+			Idle:       float64(res.Activity[pu.ActIdle]) / total,
+			Squashed:   float64(res.SquashedCycles) / total,
+		})
+	}
+	return rows, nil
+}
+
+// FormatBreakdown renders the Section 3 accounting.
+func FormatBreakdown(rows []BreakdownRow) string {
+	var b strings.Builder
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "Cycle distribution (Section 3), %d units, 1-way in-order\n", rows[0].Units)
+	}
+	fmt.Fprintf(&b, "%-10s %8s %9s %10s %11s %6s %9s\n",
+		"program", "compute", "wait-pred", "wait-intra", "wait-retire", "idle", "squashed")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %7.1f%% %8.1f%% %9.1f%% %10.1f%% %5.1f%% %8.1f%%\n",
+			r.Name, 100*r.Compute, 100*r.WaitPred, 100*r.WaitIntra,
+			100*r.WaitRetire, 100*r.Idle, 100*r.Squashed)
+	}
+	return b.String()
+}

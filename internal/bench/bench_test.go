@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable2(t *testing.T) {
+	rows, err := Table2(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Multi <= r.Scalar {
+			t.Errorf("%s: multiscalar count %d not greater than scalar %d", r.Name, r.Multi, r.Scalar)
+		}
+		if r.PctIncrease <= 0 || r.PctIncrease > 50 {
+			t.Errorf("%s: increase %.1f%% implausible", r.Name, r.PctIncrease)
+		}
+		if r.PaperPct == 0 {
+			t.Errorf("%s: paper reference missing", r.Name)
+		}
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "example") || !strings.Contains(out, "paper") {
+		t.Errorf("format output: %s", out)
+	}
+}
+
+func TestPerfTableShapes(t *testing.T) {
+	rows, err := PerfTable(1, false, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]PerfRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.ScalarIPC <= 0 || r.ScalarIPC > 1.01 {
+			t.Errorf("%s: scalar 1-way IPC %.2f out of range", r.Name, r.ScalarIPC)
+		}
+		if r.Speedup8 <= 0 {
+			t.Errorf("%s: speedup missing", r.Name)
+		}
+	}
+	// The paper's qualitative ranking must hold even at test scale:
+	// chunked kernels beat the recurrence-bound ones.
+	for _, fast := range []string{"cmp", "wc", "tomcatv"} {
+		for _, slow := range []string{"compress", "xlisp", "gcc"} {
+			if byName[fast].Speedup8 <= byName[slow].Speedup8 {
+				t.Errorf("ranking violated: %s (%.2f) should beat %s (%.2f)",
+					fast, byName[fast].Speedup8, slow, byName[slow].Speedup8)
+			}
+		}
+	}
+	// gcc has the worst task prediction.
+	for _, r := range rows {
+		if r.Name != "gcc" && r.Pred8 < byName["gcc"].Pred8 {
+			t.Errorf("%s prediction %.1f%% below gcc's %.1f%%", r.Name, r.Pred8, byName["gcc"].Pred8)
+		}
+	}
+	if s := FormatPerfTable("Table 3", rows); !strings.Contains(s, "Table 3") {
+		t.Error("format broken")
+	}
+}
+
+func TestOutOfOrderBeatsInOrder(t *testing.T) {
+	io, err := PerfTable(1, false, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ooo, err := PerfTable(1, true, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	better := 0
+	for i := range io {
+		if ooo[i].Cycles8 <= io[i].Cycles8 {
+			better++
+		}
+	}
+	if better < 7 {
+		t.Errorf("OOO faster on only %d/10 benchmarks at 8 units", better)
+	}
+}
+
+func TestBreakdownSumsToOne(t *testing.T) {
+	rows, err := Breakdown(4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		sum := r.Compute + r.WaitPred + r.WaitIntra + r.WaitRetire + r.Idle + r.Squashed
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s: breakdown sums to %.4f", r.Name, sum)
+		}
+	}
+	if s := FormatBreakdown(rows); !strings.Contains(s, "wait-pred") {
+		t.Error("format broken")
+	}
+}
+
+func TestUnitSweepMonotoneOnParallelWork(t *testing.T) {
+	rows, err := UnitSweep("cmp", -1, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Cycles >= rows[i-1].Cycles {
+			t.Errorf("%s not faster than %s (%d vs %d)",
+				rows[i].Label, rows[i-1].Label, rows[i].Cycles, rows[i-1].Cycles)
+		}
+	}
+}
+
+func TestRingLatencyHurtsRecurrence(t *testing.T) {
+	rows, err := RingLatencySweep("compress", -1, []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].Cycles <= rows[0].Cycles {
+		t.Errorf("8-cycle ring (%d) not slower than 1-cycle (%d)", rows[1].Cycles, rows[0].Cycles)
+	}
+}
+
+func TestARBSweepTinyHurts(t *testing.T) {
+	rows, err := ARBSweep("tomcatv", -1, []int{2, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rows: [2-stall, 256-stall, 2-squash, 256-squash]
+	if rows[0].Cycles <= rows[1].Cycles {
+		t.Errorf("2-entry ARB (%d) not slower than 256 (%d)", rows[0].Cycles, rows[1].Cycles)
+	}
+	if rows[2].Cycles <= rows[3].Cycles {
+		t.Errorf("squash policy: 2-entry (%d) not slower than 256 (%d)", rows[2].Cycles, rows[3].Cycles)
+	}
+}
+
+func TestForwardingAblationShowsGap(t *testing.T) {
+	rows, err := ForwardingAblation("wc", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].Cycles <= rows[0].Cycles {
+		t.Errorf("completion flush (%d cycles) should be slower than forwarding (%d)",
+			rows[1].Cycles, rows[0].Cycles)
+	}
+}
+
+func TestPredictorAblationRuns(t *testing.T) {
+	rows, err := PredictorAblation("gcc", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Cycles == 0 || rows[1].Cycles == 0 {
+		t.Errorf("rows = %+v", rows)
+	}
+}
+
+func TestUnknownWorkloadErrors(t *testing.T) {
+	if _, err := UnitSweep("nope", -1, []int{2}); err == nil {
+		t.Error("expected error")
+	}
+	if _, err := ForwardingAblation("nope", -1); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestSharedFUAblation(t *testing.T) {
+	rows, err := SharedFUAblation("tomcatv", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[2].Cycles < rows[0].Cycles {
+		t.Errorf("1 shared FP unit (%d cycles) faster than private FUs (%d)",
+			rows[2].Cycles, rows[0].Cycles)
+	}
+}
+
+func TestSpeedupCurvesAndMixes(t *testing.T) {
+	curves, err := SpeedupCurves(1, false, -1, []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 10 {
+		t.Fatalf("curves = %d", len(curves))
+	}
+	for _, c := range curves {
+		if len(c.Speedups) != 2 || c.Speedups[0] <= 0 {
+			t.Errorf("%s: %v", c.Name, c.Speedups)
+		}
+	}
+	if s := FormatCurves("fig", curves); !strings.Contains(s, "units |") {
+		t.Error("curve format broken")
+	}
+
+	mixes, err := Mixes(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mixes {
+		if m.Total == 0 || m.Loads+m.Stores > m.Total {
+			t.Errorf("%s: mix %+v", m.Name, m)
+		}
+	}
+	if s := FormatMixes(mixes); !strings.Contains(s, "branches") {
+		t.Error("mix format broken")
+	}
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/interp"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/workloads"
+)
+
+// runInterp executes a binary on the interpreter and returns the machine
+// for its counters.
+func runInterp(p *isa.Program) (*interp.Machine, error) {
+	env := interp.NewSysEnv()
+	m := interp.NewMachine(p, env)
+	if err := m.Run(1 << 40); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SpeedupCurve is one benchmark's speedup-over-scalar series across unit
+// counts — the figure-style view of Tables 3/4.
+type SpeedupCurve struct {
+	Name     string
+	Units    []int
+	Speedups []float64
+}
+
+// SpeedupCurves computes speedup-vs-units for every benchmark at one
+// issue configuration.
+func SpeedupCurves(width int, outOfOrder bool, scale Scale, units []int) ([]SpeedupCurve, error) {
+	var curves []SpeedupCurve
+	for _, w := range workloads.All() {
+		base, err := runOne(w, scale, 1, width, outOfOrder)
+		if err != nil {
+			return nil, err
+		}
+		c := SpeedupCurve{Name: w.Name, Units: units}
+		for _, n := range units {
+			res, err := runOne(w, scale, n, width, outOfOrder)
+			if err != nil {
+				return nil, fmt.Errorf("%s units=%d: %w", w.Name, n, err)
+			}
+			c.Speedups = append(c.Speedups, float64(base.Cycles)/float64(res.Cycles))
+		}
+		curves = append(curves, c)
+	}
+	return curves, nil
+}
+
+// FormatCurves renders the series as an ASCII chart: one row per
+// benchmark per unit count, bars scaled to the chart width.
+func FormatCurves(title string, curves []SpeedupCurve) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxSp := 1.0
+	for _, c := range curves {
+		for _, s := range c.Speedups {
+			if s > maxSp {
+				maxSp = s
+			}
+		}
+	}
+	const width = 50
+	for _, c := range curves {
+		fmt.Fprintf(&b, "%s\n", c.Name)
+		for i, n := range c.Units {
+			bar := int(c.Speedups[i] / maxSp * width)
+			if bar < 1 {
+				bar = 1
+			}
+			fmt.Fprintf(&b, "  %2d units |%-*s| %.2fx\n", n, width, strings.Repeat("#", bar), c.Speedups[i])
+		}
+	}
+	return b.String()
+}
+
+// InstructionMix summarizes a workload's dynamic opcode-class mix — a
+// sanity view of what each kernel actually executes.
+type InstructionMix struct {
+	Name                    string
+	Total                   uint64
+	Loads, Stores, Branches uint64
+}
+
+// Mixes computes the dynamic instruction mix of each multiscalar binary.
+func Mixes(scale Scale) ([]InstructionMix, error) {
+	var out []InstructionMix
+	for _, w := range workloads.All() {
+		p, err := w.Build(asm.ModeMultiscalar, scale.of(w))
+		if err != nil {
+			return nil, err
+		}
+		m, err := runInterp(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		out = append(out, InstructionMix{
+			Name:     w.Name,
+			Total:    m.ICount,
+			Loads:    m.LoadCount,
+			Stores:   m.StoreCount,
+			Branches: m.BranchCount,
+		})
+	}
+	return out, nil
+}
+
+// FormatMixes renders the dynamic instruction mix table.
+func FormatMixes(rows []InstructionMix) string {
+	var b strings.Builder
+	b.WriteString("Dynamic instruction mix (multiscalar binaries)\n")
+	fmt.Fprintf(&b, "%-10s %10s %8s %8s %9s\n", "program", "total", "loads", "stores", "branches")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %10d %7.1f%% %7.1f%% %8.1f%%\n", r.Name, r.Total,
+			100*float64(r.Loads)/float64(r.Total),
+			100*float64(r.Stores)/float64(r.Total),
+			100*float64(r.Branches)/float64(r.Total))
+	}
+	return b.String()
+}

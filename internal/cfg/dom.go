@@ -1,0 +1,160 @@
+package cfg
+
+// Dominator computation (iterative Cooper/Harvey/Kennedy style) and
+// natural-loop discovery. The task partitioner treats loop bodies as the
+// primary task-formation unit, following the paper's examples (an
+// iteration of the outer loop in Figure 3 is one task).
+
+// computeDominators fills in IDom for all blocks reachable from the entry.
+func (g *Graph) computeDominators() {
+	if g.Entry == nil {
+		return
+	}
+	// Reverse postorder over reachable blocks.
+	order := g.reversePostorder()
+	rpoIndex := make(map[*Block]int, len(order))
+	for i, b := range order {
+		rpoIndex[b] = i
+	}
+	g.Entry.IDom = g.Entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == g.Entry {
+				continue
+			}
+			var newIDom *Block
+			for _, p := range b.Preds {
+				if p.IDom == nil {
+					continue // unprocessed or unreachable
+				}
+				if newIDom == nil {
+					newIDom = p
+					continue
+				}
+				newIDom = intersect(p, newIDom, rpoIndex)
+			}
+			if newIDom != nil && b.IDom != newIDom {
+				b.IDom = newIDom
+				changed = true
+			}
+		}
+	}
+	g.Entry.IDom = nil // conventional: entry has no dominator parent
+}
+
+func intersect(a, b *Block, rpo map[*Block]int) *Block {
+	for a != b {
+		for rpo[a] > rpo[b] {
+			if a.IDom == nil || a.IDom == a {
+				return b
+			}
+			a = a.IDom
+		}
+		for rpo[b] > rpo[a] {
+			if b.IDom == nil || b.IDom == b {
+				return a
+			}
+			b = b.IDom
+		}
+	}
+	return a
+}
+
+// reversePostorder returns reachable blocks in reverse postorder.
+func (g *Graph) reversePostorder() []*Block {
+	seen := make(map[*Block]bool, len(g.Blocks))
+	var post []*Block
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+		post = append(post, b)
+	}
+	walk(g.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Dominates reports whether a dominates b (reflexive).
+func (g *Graph) Dominates(a, b *Block) bool {
+	for x := b; x != nil; x = x.IDom {
+		if x == a {
+			return true
+		}
+		if x.IDom == x {
+			return false
+		}
+	}
+	return false
+}
+
+// findLoops discovers natural loops from back edges (an edge t->h where h
+// dominates t) and assigns each block its innermost loop.
+func (g *Graph) findLoops() {
+	byHeader := make(map[*Block]*Loop)
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if !g.Dominates(s, b) {
+				continue
+			}
+			// back edge b -> s
+			loop := byHeader[s]
+			if loop == nil {
+				loop = &Loop{Header: s, Blocks: map[*Block]bool{s: true}}
+				byHeader[s] = loop
+				g.Loops = append(g.Loops, loop)
+			}
+			// Collect the natural loop body: blocks that can reach b
+			// without passing through s.
+			stack := []*Block{b}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if loop.Blocks[x] {
+					continue
+				}
+				loop.Blocks[x] = true
+				for _, p := range x.Preds {
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+	// Nesting: loop A is inside loop B if A's header is in B and A != B.
+	for _, a := range g.Loops {
+		for _, b := range g.Loops {
+			if a == b || !b.Blocks[a.Header] {
+				continue
+			}
+			// choose the smallest enclosing loop as parent
+			if a.Parent == nil || len(b.Blocks) < len(a.Parent.Blocks) {
+				if len(b.Blocks) > len(a.Blocks) || (len(b.Blocks) == len(a.Blocks) && b != a) {
+					a.Parent = b
+				}
+			}
+		}
+	}
+	for _, l := range g.Loops {
+		d := 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			d++
+		}
+		l.Depth = d
+	}
+	// Innermost loop per block.
+	for _, l := range g.Loops {
+		for b := range l.Blocks {
+			if b.Loop == nil || l.Depth > b.Loop.Depth {
+				b.Loop = l
+			}
+		}
+	}
+}

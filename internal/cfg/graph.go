@@ -1,0 +1,165 @@
+// Package cfg builds and analyzes the control flow graph of an assembled
+// program: basic blocks, dominators, natural loops, call summaries, and
+// global register liveness. The task partitioner (internal/taskpart) uses
+// these analyses to reproduce the compiler half of the paper's toolchain:
+// choosing task boundaries and computing create masks trimmed by
+// dead-register analysis (Section 2.2).
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"multiscalar/internal/isa"
+)
+
+// Block is one basic block: a maximal straight-line run of instructions
+// with a single entry at the top.
+type Block struct {
+	Index int    // position in Graph.Blocks (reverse-postorder-ish, by address)
+	Start uint32 // address of first instruction
+	End   uint32 // address just past the last instruction
+
+	Succs []*Block
+	Preds []*Block
+
+	// CallTarget is the callee entry address when the block ends in a
+	// direct call (jal); 0 otherwise. IndirectCall marks a jalr ending.
+	CallTarget   uint32
+	IndirectCall bool
+	// Returns marks a block ending in jr (function return).
+	Returns bool
+
+	// Dataflow facts filled in by Analyze.
+	Def     isa.RegMask // registers written in the block (incl. call effects)
+	Use     isa.RegMask // registers read before any write in the block
+	LiveIn  isa.RegMask
+	LiveOut isa.RegMask
+
+	// Dominator tree parent (nil for entry / unreachable).
+	IDom *Block
+	// Loop header this block belongs to most immediately, nil if none.
+	Loop *Loop
+}
+
+// NumInstrs returns the instruction count of the block.
+func (b *Block) NumInstrs() int { return int((b.End - b.Start) / isa.InstrSize) }
+
+func (b *Block) String() string {
+	return fmt.Sprintf("B%d[0x%x,0x%x)", b.Index, b.Start, b.End)
+}
+
+// Loop is a natural loop discovered from a back edge.
+type Loop struct {
+	Header *Block
+	Blocks map[*Block]bool
+	Parent *Loop // enclosing loop, if nested
+	Depth  int
+}
+
+// Graph is the control flow graph of a program.
+type Graph struct {
+	Prog   *isa.Program
+	Blocks []*Block
+	ByAddr map[uint32]*Block // block start -> block
+	Entry  *Block
+	Loops  []*Loop
+
+	// Funcs maps each discovered function entry (program entry + every
+	// direct call target) to its transitive register effect summary.
+	Funcs map[uint32]*FuncSummary
+}
+
+// FuncSummary is the transitive register effect of calling a function.
+type FuncSummary struct {
+	Entry uint32
+	Defs  isa.RegMask // registers the call may write (incl. callees)
+	Uses  isa.RegMask // registers the call may read (incl. callees)
+}
+
+// instrOf returns the instruction at addr.
+func (g *Graph) instrOf(addr uint32) *isa.Instr { return g.Prog.InstrAt(addr) }
+
+// BlockOf returns the block containing the given address.
+func (g *Graph) BlockOf(addr uint32) *Block {
+	i := sort.Search(len(g.Blocks), func(i int) bool { return g.Blocks[i].End > addr })
+	if i < len(g.Blocks) && g.Blocks[i].Start <= addr {
+		return g.Blocks[i]
+	}
+	return nil
+}
+
+// Build constructs the basic-block graph for a program.
+func Build(p *isa.Program) *Graph {
+	g := &Graph{Prog: p, ByAddr: make(map[uint32]*Block)}
+	textEnd := p.TextEnd()
+
+	// Pass 1: find leaders.
+	leaders := map[uint32]bool{p.Entry: true, isa.TextBase: true}
+	for i := range p.Text {
+		in := &p.Text[i]
+		addr := isa.TextBase + uint32(i)*isa.InstrSize
+		if in.Op.IsControl() {
+			if in.Op != isa.OpJr && in.Op != isa.OpJalr && in.Target >= isa.TextBase && in.Target < textEnd {
+				leaders[in.Target] = true
+			}
+			if addr+isa.InstrSize < textEnd {
+				leaders[addr+isa.InstrSize] = true
+			}
+		}
+	}
+	// Task entries are also leaders (tasks must start on block boundaries).
+	for entry := range p.Tasks {
+		leaders[entry] = true
+	}
+
+	starts := make([]uint32, 0, len(leaders))
+	for a := range leaders {
+		starts = append(starts, a)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	// Pass 2: create blocks. Every instruction following a control
+	// instruction is a leader, so a control instruction can only be the
+	// last instruction before the next leader — blocks are exactly the
+	// inter-leader ranges.
+	for i, start := range starts {
+		end := textEnd
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		b := &Block{Index: len(g.Blocks), Start: start, End: end}
+		g.Blocks = append(g.Blocks, b)
+		g.ByAddr[start] = b
+	}
+
+	// Pass 3: edges.
+	for _, b := range g.Blocks {
+		last := g.instrOf(b.End - isa.InstrSize)
+		addEdge := func(to uint32) {
+			if t := g.ByAddr[to]; t != nil {
+				b.Succs = append(b.Succs, t)
+				t.Preds = append(t.Preds, b)
+			}
+		}
+		switch {
+		case last.Op.IsBranch():
+			addEdge(last.Target)
+			addEdge(b.End)
+		case last.Op == isa.OpJ:
+			addEdge(last.Target)
+		case last.Op == isa.OpJal:
+			b.CallTarget = last.Target
+			addEdge(b.End) // call returns to the fall-through
+		case last.Op == isa.OpJalr:
+			b.IndirectCall = true
+			addEdge(b.End)
+		case last.Op == isa.OpJr:
+			b.Returns = true // no static successor
+		default:
+			addEdge(b.End) // fall through
+		}
+	}
+	g.Entry = g.ByAddr[p.Entry]
+	return g
+}

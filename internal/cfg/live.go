@@ -1,0 +1,214 @@
+package cfg
+
+import "multiscalar/internal/isa"
+
+// Register liveness and function effect summaries.
+//
+// Calls are summarized: a jal contributes its callee's transitive
+// defs/uses (computed by a fixpoint over the call graph); an indirect call
+// (jalr) conservatively defines and uses every register. Return blocks
+// (jr) use LiveAtReturn — the ABI registers that may be observed by the
+// caller — making the analysis conservative but sound for create-mask
+// trimming: a register *not* live at a task exit can safely be dropped
+// from the create mask (Section 2.2's dead register analysis).
+
+// LiveAtReturn is the set of registers assumed live when a function
+// returns: results, stack/global/frame pointers, and all callee-saved
+// registers (integer $s0-$s7 and conventionally preserved FP regs
+// $f20-$f31).
+var LiveAtReturn = func() isa.RegMask {
+	m := isa.MaskOf(isa.RegV0, isa.RegV1, isa.RegSP, isa.RegGP, isa.RegFP, isa.RegRA)
+	for r := isa.RegS0; r <= isa.RegS7; r++ {
+		m = m.Set(r)
+	}
+	for i := 20; i < 32; i++ {
+		m = m.Set(isa.F(i))
+	}
+	return m
+}()
+
+// AllRegs is every register except $zero.
+var AllRegs = func() isa.RegMask {
+	var m isa.RegMask
+	for r := isa.Reg(1); r < isa.NumRegs; r++ {
+		m = m.Set(r)
+	}
+	return m
+}()
+
+// Analyze runs all dataflow analyses: dominators, loops, call summaries,
+// block def/use, and global liveness. Call it once after Build.
+func (g *Graph) Analyze() {
+	g.computeDominators()
+	g.findLoops()
+	g.computeFuncSummaries()
+	g.computeDefUse()
+	g.computeLiveness()
+}
+
+// instrDefUse returns the registers one instruction defines and uses,
+// summarizing calls through g.Funcs.
+func (g *Graph) instrDefUse(in *isa.Instr) (def, use isa.RegMask) {
+	switch in.Op {
+	case isa.OpJal:
+		def = def.Set(in.Rd)
+		if fs := g.Funcs[in.Target]; fs != nil {
+			def = def.Union(fs.Defs)
+			use = use.Union(fs.Uses)
+		}
+	case isa.OpJalr:
+		def = AllRegs
+		use = AllRegs
+	default:
+		if d := in.Dest(); d != isa.RegZero {
+			def = def.Set(d)
+		}
+		for _, s := range in.Sources() {
+			use = use.Set(s)
+		}
+	}
+	return def, use
+}
+
+// rawDefUse is instrDefUse without call summarization (used while the
+// summaries themselves are being computed).
+func rawDefUse(in *isa.Instr) (def, use isa.RegMask) {
+	if d := in.Dest(); d != isa.RegZero {
+		def = def.Set(d)
+	}
+	for _, s := range in.Sources() {
+		use = use.Set(s)
+	}
+	return def, use
+}
+
+// computeFuncSummaries discovers functions (program entry plus every
+// direct call target) and fixpoints their transitive register effects
+// over the call graph.
+func (g *Graph) computeFuncSummaries() {
+	g.Funcs = make(map[uint32]*FuncSummary)
+	entries := map[uint32]bool{g.Prog.Entry: true}
+	for _, b := range g.Blocks {
+		if b.CallTarget != 0 {
+			entries[b.CallTarget] = true
+		}
+	}
+	for e := range entries {
+		g.Funcs[e] = &FuncSummary{Entry: e}
+	}
+
+	// funcBlocks: blocks reachable from the entry following intra-
+	// procedural edges only (call edges already go to the fall-through).
+	funcBlocks := func(entry uint32) []*Block {
+		start := g.ByAddr[entry]
+		if start == nil {
+			return nil
+		}
+		seen := map[*Block]bool{}
+		stack := []*Block{start}
+		var out []*Block
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[b] {
+				continue
+			}
+			seen[b] = true
+			out = append(out, b)
+			for _, s := range b.Succs {
+				stack = append(stack, s)
+			}
+		}
+		return out
+	}
+
+	bodies := make(map[uint32][]*Block, len(entries))
+	for e := range entries {
+		bodies[e] = funcBlocks(e)
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for e, fs := range g.Funcs {
+			var defs, uses isa.RegMask
+			for _, b := range bodies[e] {
+				for a := b.Start; a < b.End; a += isa.InstrSize {
+					in := g.instrOf(a)
+					var d, u isa.RegMask
+					switch in.Op {
+					case isa.OpJal:
+						d = d.Set(in.Rd)
+						if cs := g.Funcs[in.Target]; cs != nil {
+							d = d.Union(cs.Defs)
+							u = u.Union(cs.Uses)
+						}
+					case isa.OpJalr:
+						d, u = AllRegs, AllRegs
+					default:
+						d, u = rawDefUse(in)
+					}
+					defs = defs.Union(d)
+					uses = uses.Union(u)
+				}
+			}
+			if defs != fs.Defs || uses != fs.Uses {
+				fs.Defs, fs.Uses = defs, uses
+				changed = true
+			}
+		}
+	}
+}
+
+// computeDefUse fills Block.Def (all registers written) and Block.Use
+// (registers read before written within the block).
+func (g *Graph) computeDefUse() {
+	for _, b := range g.Blocks {
+		var def, use isa.RegMask
+		for a := b.Start; a < b.End; a += isa.InstrSize {
+			d, u := g.instrDefUse(g.instrOf(a))
+			use = use.Union(u.Minus(def))
+			def = def.Union(d)
+		}
+		b.Def, b.Use = def, use
+	}
+}
+
+// computeLiveness runs backward liveness to a fixpoint.
+func (g *Graph) computeLiveness() {
+	for changed := true; changed; {
+		changed = false
+		for i := len(g.Blocks) - 1; i >= 0; i-- {
+			b := g.Blocks[i]
+			var out isa.RegMask
+			if b.Returns {
+				out = LiveAtReturn
+			}
+			for _, s := range b.Succs {
+				out = out.Union(s.LiveIn)
+			}
+			in := b.Use.Union(out.Minus(b.Def))
+			if out != b.LiveOut || in != b.LiveIn {
+				b.LiveOut, b.LiveIn = out, in
+				changed = true
+			}
+		}
+	}
+}
+
+// LiveAt returns the registers live immediately before the instruction at
+// addr, by replaying the block backwards from LiveOut.
+func (g *Graph) LiveAt(addr uint32) isa.RegMask {
+	b := g.BlockOf(addr)
+	if b == nil {
+		return AllRegs
+	}
+	live := b.LiveOut
+	for a := b.End - isa.InstrSize; a >= addr && a >= b.Start; a -= isa.InstrSize {
+		d, u := g.instrDefUse(g.instrOf(a))
+		live = live.Minus(d).Union(u)
+		if a == b.Start {
+			break // avoid uint32 underflow
+		}
+	}
+	return live
+}

@@ -1,0 +1,112 @@
+// Package core assembles the full machines: the multiscalar processor of
+// Figure 1 (circular queue of processing units, sequencer with task
+// prediction, register forwarding ring, ARB, banked data caches) and the
+// scalar baseline processor built from one identical processing unit.
+package core
+
+import (
+	"io"
+
+	"multiscalar/internal/arb"
+	"multiscalar/internal/isa"
+)
+
+// Config describes one machine configuration. The defaults reproduce
+// Section 5.1 of the paper.
+type Config struct {
+	// Units and issue.
+	NumUnits   int  // parallel processing units (1 for the scalar machine)
+	IssueWidth int  // 1 or 2
+	OutOfOrder bool // out-of-order issue within a unit
+	ROBSize    int  // per-unit instruction window
+	FetchQSize int
+
+	// Latencies.
+	Latencies isa.Latencies
+
+	// Instruction caches: per unit.
+	ICacheBytes int // 32 KB
+	ICacheBlock int // 64 B
+
+	// Data banks: 2x banks as units; 8 KB direct-mapped, 64 B blocks.
+	DBankBytes  int
+	DBlockBytes int
+	DCacheHit   int // 2 for multiscalar units, 1 for the scalar machine
+	NumMSHRs    int
+
+	// ARB.
+	ARBEntries int // per bank (paper: 256)
+	ARBPolicy  arb.OverflowPolicy
+
+	// Ring.
+	RingLatency int // cycles per hop (paper: 1)
+
+	// Sequencer.
+	DescCacheEntries int // task descriptor cache (paper: 1024)
+	// StaticPredict disables the two-level predictor: the sequencer
+	// always follows the first listed target (an ablation against the PAs
+	// scheme of Section 5.1).
+	StaticPredict bool
+
+	// SharedFPUnits, when positive, shares the floating-point and complex
+	// integer units between the processing units (the alternative
+	// microarchitecture of Section 2.3): at most this many operations of
+	// each of those classes may start per cycle machine-wide. Zero keeps
+	// the paper's per-unit FUs.
+	SharedFPUnits int
+
+	// Branch prediction within units.
+	BranchEntries int
+
+	// Safety limits and debug checks.
+	MaxCycles     uint64
+	CheckForwards bool // verify forwarded values equal final task values
+
+	// Trace, when non-nil, receives one compact line per cycle: the head
+	// pointer, active count, and a glyph per unit (. idle, * compute,
+	// p wait-pred, m wait-intra, r wait-retire), ordered physically.
+	Trace io.Writer
+}
+
+// DefaultConfig returns the paper's multiscalar configuration for the
+// given unit count, issue width and issue order.
+func DefaultConfig(units, width int, outOfOrder bool) Config {
+	return Config{
+		NumUnits:         units,
+		IssueWidth:       width,
+		OutOfOrder:       outOfOrder,
+		ROBSize:          16,
+		FetchQSize:       8,
+		Latencies:        isa.Table1(),
+		ICacheBytes:      32 << 10,
+		ICacheBlock:      64,
+		DBankBytes:       8 << 10,
+		DBlockBytes:      64,
+		DCacheHit:        2,
+		NumMSHRs:         4,
+		ARBEntries:       256,
+		ARBPolicy:        arb.PolicyStall,
+		RingLatency:      1,
+		DescCacheEntries: 1024,
+		BranchEntries:    2048,
+		MaxCycles:        2_000_000_000,
+	}
+}
+
+// ScalarConfig returns the scalar baseline: one identical processing unit
+// with 1-cycle data cache hits and a 64 KB data cache.
+func ScalarConfig(width int, outOfOrder bool) Config {
+	c := DefaultConfig(1, width, outOfOrder)
+	c.DCacheHit = 1
+	c.DBankBytes = 64 << 10 // one 64 KB cache
+	return c
+}
+
+// NumBanks returns the data bank count: twice the unit count (Figure 1),
+// and a single bank for the scalar machine.
+func (c Config) NumBanks() int {
+	if c.NumUnits <= 1 {
+		return 1
+	}
+	return 2 * c.NumUnits
+}

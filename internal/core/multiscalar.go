@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+
+	"multiscalar/internal/arb"
+	"multiscalar/internal/interp"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/mem"
+	"multiscalar/internal/predict"
+	"multiscalar/internal/pu"
+)
+
+// taskState is the sequencer's bookkeeping for one assigned task.
+type taskState struct {
+	desc       *isa.TaskDescriptor
+	entry      uint32
+	assignedAt uint64
+	sent       map[isa.Reg]sentValue
+
+	// Prediction bookkeeping for this task's successor, filled when the
+	// successor is chosen.
+	predMade   bool
+	predCounts bool // whether it counts toward accuracy statistics
+	predIdx    int
+	predEntry  uint32
+	histBefore uint16
+	histSnap   [64]uint16
+	rasSnap    predict.RAS
+	// validated is set once this task's successor prediction has been
+	// checked against its actual exit (which happens as soon as the task
+	// completes — §3.1.2: the exit point is known then, not at retire).
+	validated bool
+}
+
+// pendingAssign is an assignment waiting on the task-descriptor cache.
+type pendingAssign struct {
+	valid bool
+	ready uint64
+	entry uint32
+	desc  *isa.TaskDescriptor
+}
+
+// Multiscalar is the processor of Figure 1: NumUnits processing units in a
+// circular queue, a sequencer walking the CFG task by task, a register
+// forwarding ring, an ARB, per-unit instruction caches and interleaved
+// data banks behind a crossbar, all sharing one memory bus.
+type Multiscalar struct {
+	cfg  Config
+	prog *isa.Program
+	env  *interp.SysEnv
+
+	backing *mem.Memory
+	bus     *mem.Bus
+	icaches []*mem.Cache
+	dbanks  *mem.BankedDCache
+	arb     *arb.ARB
+
+	units []*pu.Unit
+	exts  []*msExt
+	rfs   []*regFile
+	tasks []*taskState
+
+	head   int
+	active int
+
+	predictor predict.TaskPredictor
+	ras       predict.RAS
+	descCache *mem.Cache
+
+	forced      uint32 // next task entry when known exactly
+	forcedValid bool
+	terminal    bool
+	pending     pendingAssign
+
+	// Ring send bandwidth tracking, per unit.
+	sendAt   []uint64
+	sendN    []int
+	sendBusy []uint64
+
+	// Violation found during the current cycle's sweep (unit index, -1
+	// none).
+	viol int
+
+	// archRegs is the committed register state as of the most recently
+	// retired task; it seeds the register file of newly assigned tasks.
+	archRegs [isa.NumRegs]interp.Value
+
+	// Shared-FU arbitration (Config.SharedFPUnits).
+	sharedFUAt   uint64
+	sharedFUUsed [2]int // [float, complex-int] started this cycle
+
+	finished bool
+	now      uint64
+
+	// Statistics.
+	committed      uint64
+	tasksRetired   uint64
+	tasksSquashed  uint64
+	ctlSquashes    uint64
+	memSquashes    uint64
+	arbSquashes    uint64
+	predictions    uint64
+	predCorrect    uint64
+	activity       [pu.NumActivities]uint64
+	squashedCycles uint64
+}
+
+// NewMultiscalar builds the machine for a multiscalar binary.
+func NewMultiscalar(prog *isa.Program, env *interp.SysEnv, cfg Config) (*Multiscalar, error) {
+	if len(prog.Tasks) == 0 {
+		return nil, fmt.Errorf("core: program has no task descriptors (assemble in multiscalar mode or run taskpart)")
+	}
+	if prog.TaskAt(prog.Entry) == nil {
+		return nil, fmt.Errorf("core: no task descriptor at program entry 0x%x", prog.Entry)
+	}
+	m := &Multiscalar{
+		cfg:     cfg,
+		prog:    prog,
+		env:     env,
+		backing: mem.NewMemory(),
+		bus:     mem.NewBus(),
+		viol:    -1,
+	}
+	m.backing.WriteBytes(isa.DataBase, prog.Data)
+	m.dbanks = mem.NewBankedDCache(cfg.NumBanks(), cfg.DBankBytes, cfg.DBlockBytes, cfg.DCacheHit, cfg.NumMSHRs, m.bus)
+	m.arb = arb.New(cfg.NumUnits, cfg.NumBanks(), cfg.ARBEntries, cfg.ARBPolicy)
+	m.descCache = mem.NewCache("desccache", cfg.DescCacheEntries*16, 16, 0, 1, m.bus)
+
+	ucfg := pu.Config{
+		IssueWidth:    cfg.IssueWidth,
+		OutOfOrder:    cfg.OutOfOrder,
+		ROBSize:       cfg.ROBSize,
+		FetchQSize:    cfg.FetchQSize,
+		Latencies:     cfg.Latencies,
+		BranchEntries: cfg.BranchEntries,
+	}
+	for i := 0; i < cfg.NumUnits; i++ {
+		m.icaches = append(m.icaches, mem.NewCache("icache", cfg.ICacheBytes, cfg.ICacheBlock, 0, cfg.NumMSHRs, m.bus))
+		ext := &msExt{m: m, id: i}
+		m.exts = append(m.exts, ext)
+		m.units = append(m.units, pu.New(i, ucfg, prog, ext))
+		m.rfs = append(m.rfs, &regFile{})
+		m.tasks = append(m.tasks, nil)
+	}
+	m.sendAt = make([]uint64, cfg.NumUnits)
+	m.sendN = make([]int, cfg.NumUnits)
+	m.sendBusy = make([]uint64, cfg.NumUnits)
+
+	// Initial architectural register state.
+	var arch [isa.NumRegs]interp.Value
+	arch[isa.RegSP] = interp.IntVal(isa.StackTop)
+	arch[isa.RegGP] = interp.IntVal(isa.DataBase)
+	m.archRegs = arch
+
+	m.forced = prog.Entry
+	m.forcedValid = true
+	return m, nil
+}
+
+func (m *Multiscalar) dist(u int) int {
+	return (u - m.head + m.cfg.NumUnits) % m.cfg.NumUnits
+}
+
+func (m *Multiscalar) withinActive(u int) bool { return m.dist(u) < m.active }
+
+// Run executes the program to completion.
+func (m *Multiscalar) Run() (*Result, error) {
+	for !m.finished {
+		if m.now >= m.cfg.MaxCycles {
+			return nil, fmt.Errorf("core: multiscalar run exceeded %d cycles (deadlock?)", m.cfg.MaxCycles)
+		}
+		m.assign(m.now)
+		for i := 0; i < m.cfg.NumUnits; i++ {
+			idx := (m.head + i) % m.cfg.NumUnits
+			if _, err := m.units[idx].Tick(m.now); err != nil {
+				return nil, err
+			}
+		}
+		// Idle accounting: units that had no task during this cycle's
+		// sweep (before retire/squash frees or restarts units).
+		for i := 0; i < m.cfg.NumUnits; i++ {
+			if !m.units[i].Active() {
+				m.activity[pu.ActIdle]++
+			}
+		}
+		if m.env.Exited {
+			m.finish()
+			break
+		}
+		if m.viol >= 0 {
+			m.memoryViolationSquash(m.now)
+		}
+		m.validateCompleted(m.now)
+		if err := m.retire(m.now); err != nil {
+			return nil, err
+		}
+		if m.cfg.Trace != nil {
+			m.traceCycle()
+		}
+		m.now++
+	}
+	return m.result(), nil
+}
+
+func (m *Multiscalar) finish() {
+	// The head task executed the exit syscall: its work is architectural.
+	if m.active > 0 {
+		m.committed += m.units[m.head].Retired
+		m.tasksRetired++
+		m.foldActivity(m.head, true)
+		// Remaining in-flight tasks were beyond the program's end.
+		for d := 1; d < m.active; d++ {
+			q := (m.head + d) % m.cfg.NumUnits
+			m.foldActivity(q, false)
+			m.tasksSquashed++
+		}
+	}
+	m.now++ // the exit cycle counts
+	m.finished = true
+}
+
+var actGlyphs = [pu.NumActivities]byte{'.', '*', 'p', 'm', 'r'}
+
+// traceCycle emits one compact line describing this cycle.
+func (m *Multiscalar) traceCycle() {
+	glyphs := make([]byte, m.cfg.NumUnits)
+	for i, u := range m.units {
+		glyphs[i] = actGlyphs[u.LastActivity()]
+	}
+	fmt.Fprintf(m.cfg.Trace, "%8d head=%d active=%d [%s] retired=%d squashed=%d\n",
+		m.now, m.head, m.active, glyphs, m.tasksRetired, m.tasksSquashed)
+}
+
+func (m *Multiscalar) foldActivity(unit int, retired bool) {
+	u := m.units[unit]
+	for a := pu.ActCompute; a < pu.NumActivities; a++ {
+		if retired {
+			m.activity[a] += u.ActCounts[a]
+		} else {
+			m.squashedCycles += u.ActCounts[a]
+		}
+	}
+}
+
+func (m *Multiscalar) result() *Result {
+	var imiss uint64
+	for _, ic := range m.icaches {
+		imiss += ic.Misses
+	}
+	return &Result{
+		Cycles:           m.now,
+		Committed:        m.committed,
+		Out:              m.env.Out.String(),
+		ExitCode:         m.env.ExitCode,
+		TasksRetired:     m.tasksRetired,
+		TasksSquashed:    m.tasksSquashed,
+		CtlSquashes:      m.ctlSquashes,
+		MemSquashes:      m.memSquashes,
+		ARBSquashes:      m.arbSquashes,
+		Predictions:      m.predictions,
+		PredCorrect:      m.predCorrect,
+		Activity:         m.activity,
+		SquashedCycles:   m.squashedCycles,
+		ICacheMisses:     imiss,
+		DCacheMisses:     m.dbanks.Misses(),
+		DBankConflicts:   m.dbanks.Conflicts,
+		BusRequests:      m.bus.Requests,
+		ARBViolations:    m.arb.Violations,
+		ARBOverflows:     m.arb.Overflows,
+		ARBStoreForwards: m.arb.StoreForwards,
+	}
+}

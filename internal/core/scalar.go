@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"multiscalar/internal/interp"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/mem"
+	"multiscalar/internal/pu"
+)
+
+// Scalar is the baseline processor: one processing unit (identical to a
+// multiscalar unit), a 32 KB instruction cache, a 64 KB data cache with
+// 1-cycle hits, and the shared memory bus — the configuration the paper's
+// speedups are measured against.
+type Scalar struct {
+	cfg     Config
+	prog    *isa.Program
+	env     *interp.SysEnv
+	backing *mem.Memory
+	bus     *mem.Bus
+	icache  *mem.Cache
+	dcache  *mem.Cache
+	unit    *pu.Unit
+	ext     *scalarExt
+}
+
+// NewScalar builds a scalar machine for a program.
+func NewScalar(prog *isa.Program, env *interp.SysEnv, cfg Config) *Scalar {
+	s := &Scalar{
+		cfg:     cfg,
+		prog:    prog,
+		env:     env,
+		backing: mem.NewMemory(),
+		bus:     mem.NewBus(),
+	}
+	s.backing.WriteBytes(isa.DataBase, prog.Data)
+	s.icache = mem.NewCache("icache", cfg.ICacheBytes, cfg.ICacheBlock, 0, cfg.NumMSHRs, s.bus)
+	s.dcache = mem.NewCache("dcache", cfg.DBankBytes, cfg.DBlockBytes, cfg.DCacheHit, cfg.NumMSHRs, s.bus)
+	s.ext = &scalarExt{s: s}
+	s.ext.regs[isa.RegSP] = interp.IntVal(isa.StackTop)
+	s.ext.regs[isa.RegGP] = interp.IntVal(isa.DataBase)
+	ucfg := pu.Config{
+		IssueWidth:    cfg.IssueWidth,
+		OutOfOrder:    cfg.OutOfOrder,
+		ROBSize:       cfg.ROBSize,
+		FetchQSize:    cfg.FetchQSize,
+		Latencies:     cfg.Latencies,
+		BranchEntries: cfg.BranchEntries,
+	}
+	s.unit = pu.New(0, ucfg, prog, s.ext)
+	return s
+}
+
+// Run executes the program to completion.
+func (s *Scalar) Run() (*Result, error) {
+	s.unit.Start(s.prog.Entry, 0)
+	var now uint64
+	for !s.env.Exited {
+		if now >= s.cfg.MaxCycles {
+			return nil, fmt.Errorf("core: scalar run exceeded %d cycles", s.cfg.MaxCycles)
+		}
+		if _, err := s.unit.Tick(now); err != nil {
+			return nil, err
+		}
+		now++
+	}
+	res := &Result{
+		Cycles:       now,
+		Committed:    s.unit.Retired,
+		Out:          s.env.Out.String(),
+		ExitCode:     s.env.ExitCode,
+		ICacheMisses: s.icache.Misses,
+		DCacheMisses: s.dcache.Misses,
+		BusRequests:  s.bus.Requests,
+	}
+	res.Activity = s.unit.ActCounts
+	return res, nil
+}
+
+// Memory exposes the backing store (for test assertions).
+func (s *Scalar) Memory() *mem.Memory { return s.backing }
+
+// Registers exposes final architectural registers (for test assertions).
+func (s *Scalar) Registers() [isa.NumRegs]interp.Value { return s.ext.regs }
+
+// scalarExt is the trivial environment: registers always ready, memory
+// accessed directly with cache timing, syscalls always handled.
+type scalarExt struct {
+	s    *Scalar
+	regs [isa.NumRegs]interp.Value
+}
+
+func (e *scalarExt) ReadReg(now uint64, r isa.Reg) (interp.Value, bool) {
+	return e.regs[r], true
+}
+
+func (e *scalarExt) WriteReg(r isa.Reg, v interp.Value) {
+	if r != isa.RegZero {
+		e.regs[r] = v
+	}
+}
+
+func (e *scalarExt) Forward(now uint64, r isa.Reg, v interp.Value) {
+	// No successors on a scalar machine; forward/release bits are absent
+	// from scalar binaries anyway.
+}
+
+func (e *scalarExt) Load(now uint64, op isa.Op, addr uint32) (interp.Value, uint64, bool) {
+	raw := e.s.backing.ReadN(addr, op.MemSize())
+	done := e.s.dcache.Access(now, addr, false)
+	return interp.LoadValue(op, raw), done, true
+}
+
+func (e *scalarExt) Store(now uint64, op isa.Op, addr uint32, v interp.Value) (uint64, bool) {
+	e.s.backing.WriteN(addr, op.MemSize(), interp.StoreValue(op, v))
+	done := e.s.dcache.Access(now, addr, true)
+	return done, true
+}
+
+func (e *scalarExt) FetchDone(now uint64, groupAddr uint32) uint64 {
+	return e.s.icache.Access(now, groupAddr, false)
+}
+
+func (e *scalarExt) Syscall(now uint64) (uint32, bool, bool, error) {
+	ret, writes, err := e.s.env.Call(e.s.backing,
+		e.regs[isa.RegV0].I, e.regs[isa.RegA0].I,
+		e.regs[isa.RegA1].I, e.regs[isa.RegA2].I, e.regs[isa.RegA3].I)
+	return ret, writes, true, err
+}

@@ -1,0 +1,427 @@
+package core
+
+import (
+	"fmt"
+
+	"multiscalar/internal/interp"
+	"multiscalar/internal/isa"
+)
+
+// assign performs at most one task assignment per cycle: choose the next
+// task (known exactly after a validation, or predicted from the youngest
+// assigned task's descriptor), fetch its descriptor through the task
+// descriptor cache, and start it on the unit after the current tail.
+func (m *Multiscalar) assign(now uint64) {
+	if m.terminal || m.active >= m.cfg.NumUnits {
+		return
+	}
+	// A descriptor fetch in flight?
+	if m.pending.valid {
+		if now < m.pending.ready {
+			return
+		}
+		m.doAssign(m.pending.entry, m.pending.desc, now)
+		m.pending.valid = false
+		return
+	}
+
+	var entry uint32
+	switch {
+	case m.forcedValid:
+		entry = m.forced
+	case m.active == 0:
+		return // nothing to predict from; wait for a forced target
+	default:
+		tail := (m.head + m.active - 1) % m.cfg.NumUnits
+		last := m.tasks[tail]
+		if last.predMade {
+			return // successor prediction already pending a bad target
+		}
+		var ok bool
+		entry, ok = m.predictSuccessor(last)
+		if !ok {
+			return
+		}
+	}
+
+	desc := m.prog.TaskAt(entry)
+	if desc == nil {
+		if m.forcedValid {
+			// A validated actual successor must be a task: anything else
+			// is a partitioning bug, surfaced loudly.
+			panic(fmt.Sprintf("core: validated next task 0x%x has no descriptor", entry))
+		}
+		// Mispredicted into a non-task address (stale return address):
+		// leave the slot empty; validation of the predecessor will force
+		// the correct target and squash.
+		return
+	}
+	ready := m.descCache.Access(now, entry, false)
+	if ready > now {
+		m.pending = pendingAssign{valid: true, ready: ready, entry: entry, desc: desc}
+		return
+	}
+	m.doAssign(entry, desc, now)
+}
+
+// predictSuccessor chooses the next task after `last`, recording the
+// bookkeeping needed to validate, train, and recover.
+func (m *Multiscalar) predictSuccessor(last *taskState) (uint32, bool) {
+	desc := last.desc
+	if len(desc.Targets) == 0 {
+		m.terminal = true
+		return 0, false
+	}
+	last.histSnap = m.predictor.Snapshot()
+	last.rasSnap = m.ras.Snapshot()
+	last.histBefore = m.predictor.History(desc.Entry)
+
+	idx := 0
+	counts := len(desc.Targets) > 1
+	if counts && !m.cfg.StaticPredict {
+		idx = m.predictor.Predict(desc.Entry) % len(desc.Targets)
+	}
+	tgt := desc.Targets[idx]
+	var entry uint32
+	if tgt == isa.TargetReturn {
+		entry = m.ras.Pop()
+		if entry == 0 {
+			// Empty return stack: cannot guess. Wait for validation.
+			m.ras.Restore(last.rasSnap)
+			return 0, false
+		}
+	} else {
+		entry = tgt
+	}
+	if desc.PushRA != 0 && tgt == desc.CallTarget {
+		m.ras.Push(desc.PushRA)
+	}
+
+	last.predMade = true
+	last.predCounts = counts
+	last.predIdx = idx
+	last.predEntry = entry
+	return entry, true
+}
+
+func (m *Multiscalar) doAssign(entry uint32, desc *isa.TaskDescriptor, now uint64) {
+	unit := (m.head + m.active) % m.cfg.NumUnits
+	m.tasks[unit] = &taskState{
+		desc:       desc,
+		entry:      entry,
+		assignedAt: now,
+		sent:       make(map[isa.Reg]sentValue),
+	}
+	m.rebuildRegs(unit, now)
+	m.units[unit].Start(entry, now)
+	m.active++
+	if m.forcedValid && m.forced == entry {
+		m.forcedValid = false
+	}
+}
+
+// rebuildRegs initializes a unit's register file copy at (re)assignment:
+// committed state, overridden in sequence order by each active
+// predecessor's create-mask registers — already-forwarded values arrive
+// with their ring delay, the rest become reservations (the accum mask of
+// Section 2.2).
+func (m *Multiscalar) rebuildRegs(unit int, now uint64) {
+	rf := m.rfs[unit]
+	rf.vals = m.archRegs
+	for i := range rf.readyAt {
+		rf.readyAt[i] = 0
+	}
+	rf.pending = 0
+	rf.sent = 0
+	var accum isa.RegMask
+	du := m.dist(unit)
+	for d := 0; d < du; d++ {
+		q := (m.head + d) % m.cfg.NumUnits
+		qt := m.tasks[q]
+		if qt == nil {
+			continue
+		}
+		accum = accum.Union(qt.desc.Create)
+		hop := uint64((du - d) * m.cfg.RingLatency)
+		qt.desc.Create.ForEach(func(r isa.Reg) {
+			if sv, ok := qt.sent[r]; ok {
+				rf.vals[r] = sv.val
+				rf.readyAt[r] = sv.when + hop
+				rf.pending = rf.pending.Clear(r)
+			} else {
+				rf.pending = rf.pending.Set(r)
+			}
+		})
+	}
+	rf.accum = accum
+}
+
+// forward sends one register value from unit p around the ring: at most
+// once per register per task, paced to the unit's issue width per cycle,
+// delivered hop by hop to successors until a unit whose create mask
+// contains the register swallows it (that unit will produce or release
+// its own version).
+func (m *Multiscalar) forward(p int, now uint64, r isa.Reg, v interp.Value) {
+	rf := m.rfs[p]
+	if r == isa.RegZero || rf.sent.Has(r) {
+		return
+	}
+	rf.sent = rf.sent.Set(r)
+
+	// Send-slot pacing.
+	sc := now
+	if m.sendBusy[p] > sc {
+		sc = m.sendBusy[p]
+	}
+	if m.sendAt[p] != sc {
+		m.sendAt[p] = sc
+		m.sendN[p] = 0
+	}
+	m.sendN[p]++
+	if m.sendN[p] >= m.cfg.IssueWidth {
+		m.sendBusy[p] = sc + 1
+	}
+
+	m.tasks[p].sent[r] = sentValue{val: v, when: sc}
+
+	for d := 1; ; d++ {
+		q := (p + d) % m.cfg.NumUnits
+		if !m.withinActive(q) || q == p {
+			break
+		}
+		if m.tasks[q] == nil {
+			break
+		}
+		m.rfs[q].deliver(r, v, sc+uint64(d*m.cfg.RingLatency))
+		if m.tasks[q].desc.Create.Has(r) {
+			break // swallowed
+		}
+	}
+}
+
+// tryFlush forwards, at task completion, every create-mask register the
+// task has not explicitly forwarded or released (Section 2.2: later tasks
+// wait for any register an earlier task said it might produce, so
+// remaining reservations must be cleared). Registers still awaiting a
+// predecessor value retry next cycle. Returns true when all create-mask
+// registers have been sent.
+func (m *Multiscalar) tryFlush(unit int, now uint64) (bool, error) {
+	rf := m.rfs[unit]
+	ts := m.tasks[unit]
+	all := true
+	var err error
+	ts.desc.Create.ForEach(func(r isa.Reg) {
+		if rf.sent.Has(r) {
+			if m.cfg.CheckForwards && err == nil {
+				if sv := ts.sent[r]; sv.val != rf.vals[r] && !rf.pending.Has(r) {
+					err = fmt.Errorf("core: task %s forwarded stale %v: sent %v, final %v",
+						ts.desc.Name, r, sv.val, rf.vals[r])
+				}
+			}
+			return
+		}
+		if rf.pending.Has(r) {
+			all = false // predecessor value still in flight; retry
+			return
+		}
+		m.forward(unit, now, r, rf.vals[r])
+	})
+	return all, err
+}
+
+// retire validates and retires the head task when it is complete
+// (Section 2.3: tasks retire in assignment order; one per cycle).
+func (m *Multiscalar) retire(now uint64) error {
+	if m.active == 0 {
+		return nil
+	}
+	u := m.units[m.head]
+	ts := m.tasks[m.head]
+	if !u.Done() {
+		return nil
+	}
+	flushed, err := m.tryFlush(m.head, now)
+	if err != nil {
+		return err
+	}
+	if !flushed {
+		return nil
+	}
+
+	actual := u.ExitPC()
+	if len(ts.desc.Targets) > 0 && !ts.validated {
+		outcomeIdx, err := m.outcomeIndex(ts, u)
+		if err != nil {
+			return err
+		}
+		if ts.predMade {
+			m.validateOne(0, ts, actual, outcomeIdx, now)
+		} else {
+			// No successor was ever chosen (stalled prediction): apply the
+			// actual outcome's stack effects and force the target.
+			m.applyOutcome(ts, outcomeIdx)
+			m.forced = actual
+			m.forcedValid = true
+			ts.validated = true
+		}
+	}
+
+	// Commit: drain speculative stores, publish the architectural
+	// register state, free the unit.
+	m.arb.Commit(m.head, m.backing)
+	m.archRegs = m.rfs[m.head].vals
+	if !m.rfs[m.head].pending.Empty() {
+		return fmt.Errorf("core: retiring task %s with pending registers %v",
+			ts.desc.Name, m.rfs[m.head].pending)
+	}
+	m.committed += u.Retired
+	m.tasksRetired++
+	m.foldActivity(m.head, true)
+	u.Squash()
+	m.tasks[m.head] = nil
+	m.head = (m.head + 1) % m.cfg.NumUnits
+	m.active--
+	return nil
+}
+
+// applyOutcome replays the actual control outcome's return-stack effects.
+func (m *Multiscalar) applyOutcome(ts *taskState, outcomeIdx int) {
+	tgt := ts.desc.Targets[outcomeIdx]
+	if tgt == isa.TargetReturn {
+		m.ras.Pop()
+	}
+	if ts.desc.PushRA != 0 && tgt == ts.desc.CallTarget {
+		m.ras.Push(ts.desc.PushRA)
+	}
+}
+
+// outcomeIndex maps a completed task's actual exit to its target number.
+func (m *Multiscalar) outcomeIndex(ts *taskState, u unitExit) (int, error) {
+	var idx int
+	if u.ExitByReturn() {
+		idx = ts.desc.TargetIndex(isa.TargetReturn)
+	} else {
+		idx = ts.desc.TargetIndex(u.ExitPC())
+	}
+	if idx < 0 {
+		return 0, fmt.Errorf("core: task %s exited to 0x%x, not among its targets %v",
+			ts.desc.Name, u.ExitPC(), ts.desc.Targets)
+	}
+	return idx, nil
+}
+
+// unitExit is the slice of pu.Unit the validator needs.
+type unitExit interface {
+	ExitPC() uint32
+	ExitByReturn() bool
+}
+
+// validateCompleted checks, for every completed task whose successor has
+// been chosen, that the prediction matches the actual exit — the moment
+// the exit point is known (Section 3.1.2), not at retirement. Detecting a
+// misprediction here squashes the non-useful successors early.
+func (m *Multiscalar) validateCompleted(now uint64) {
+	for d := 0; d < m.active; d++ {
+		q := (m.head + d) % m.cfg.NumUnits
+		u := m.units[q]
+		ts := m.tasks[q]
+		if ts == nil || !u.Done() || ts.validated || !ts.predMade {
+			continue
+		}
+		outcomeIdx, err := m.outcomeIndex(ts, u)
+		if err != nil {
+			continue // surfaced at retire
+		}
+		m.validateOne(d, ts, u.ExitPC(), outcomeIdx, now)
+	}
+}
+
+// validateOne resolves one task's successor prediction: train on a hit,
+// control-squash everything after the task on a miss. dist is the task's
+// distance from the head.
+func (m *Multiscalar) validateOne(dist int, ts *taskState, actual uint32, outcomeIdx int, now uint64) {
+	ts.validated = true
+	if ts.predCounts {
+		m.predictions++
+	}
+	if ts.predEntry == actual {
+		if ts.predCounts {
+			m.predCorrect++
+			m.predictor.UpdateWith(ts.histBefore, ts.desc.Entry, outcomeIdx, ts.predIdx)
+		}
+		return
+	}
+	// Control squash: every task after this one is on the wrong path.
+	for d := dist + 1; d < m.active; d++ {
+		q := (m.head + d) % m.cfg.NumUnits
+		m.foldActivity(q, false)
+		m.tasksSquashed++
+		m.arb.ClearUnit(q)
+		m.units[q].Squash()
+		m.tasks[q] = nil
+	}
+	m.active = dist + 1
+	m.pending.valid = false
+	m.terminal = false
+
+	m.predictor.Restore(ts.histSnap)
+	m.ras.Restore(ts.rasSnap)
+	m.applyOutcome(ts, outcomeIdx)
+	if ts.predCounts {
+		m.predictor.UpdateWith(ts.histBefore, ts.desc.Entry, outcomeIdx, ts.predIdx)
+	}
+	m.forced = actual
+	m.forcedValid = true
+	// Record what was actually forced so a re-validation after a memory
+	// violation restart compares against the real successor.
+	ts.predEntry = actual
+	m.ctlSquashes++
+}
+
+// memoryViolationSquash re-executes the violating task and squashes all
+// its successors (Section 2.1: squashing a task squashes all tasks in
+// execution following it). The same tasks restart — their predictions
+// remain valid.
+func (m *Multiscalar) memoryViolationSquash(now uint64) {
+	w := m.viol
+	m.viol = -1
+	if !m.withinActive(w) || m.dist(w) == 0 {
+		return // stale (already squashed) or impossible
+	}
+	first := m.dist(w)
+	for d := first; d < m.active; d++ {
+		q := (m.head + d) % m.cfg.NumUnits
+		m.foldActivity(q, false)
+		m.tasksSquashed++
+		m.arb.ClearUnit(q)
+		m.units[q].Squash()
+		m.tasks[q].sent = make(map[isa.Reg]sentValue)
+	}
+	for d := first; d < m.active; d++ {
+		q := (m.head + d) % m.cfg.NumUnits
+		m.rebuildRegs(q, now+1)
+		m.units[q].Start(m.tasks[q].entry, now+1)
+		// Re-execution may take a different path: the task's exit must be
+		// validated afresh.
+		m.tasks[q].validated = false
+	}
+	m.memSquashes++
+}
+
+// arbOverflowSquash frees ARB space under PolicySquash by squashing the
+// youngest task. Returns true if something was squashed.
+func (m *Multiscalar) arbOverflowSquash(now uint64) bool {
+	if m.active <= 1 {
+		return false // never squash the head
+	}
+	tail := (m.head + m.active - 1) % m.cfg.NumUnits
+	m.foldActivity(tail, false)
+	m.tasksSquashed++
+	m.arbSquashes++
+	m.arb.ClearUnit(tail)
+	m.units[tail].Squash()
+	m.tasks[tail].sent = make(map[isa.Reg]sentValue)
+	m.rebuildRegs(tail, now+1)
+	m.units[tail].Start(m.tasks[tail].entry, now+1)
+	return true
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"multiscalar/internal/pu"
+)
+
+// Result summarizes one simulation run.
+type Result struct {
+	Cycles    uint64
+	Committed uint64 // dynamic instructions of retired (non-squashed) tasks
+
+	// Program-visible outcome (must match the functional interpreter).
+	Out      string
+	ExitCode int32
+
+	// Task-level statistics (multiscalar runs).
+	TasksRetired  uint64
+	TasksSquashed uint64
+	CtlSquashes   uint64 // control (task prediction) squash events
+	MemSquashes   uint64 // memory-order violation squash events
+	ARBSquashes   uint64 // ARB-overflow squash events (PolicySquash)
+
+	// Task prediction.
+	Predictions uint64
+	PredCorrect uint64
+
+	// Cycle distribution across unit-cycles (Section 3): how every
+	// unit-cycle was spent.
+	Activity       [pu.NumActivities]uint64
+	SquashedCycles uint64 // unit-cycles of work that was later squashed
+
+	// Memory system.
+	ICacheMisses   uint64
+	DCacheMisses   uint64
+	DBankConflicts uint64
+	BusRequests    uint64
+
+	// ARB.
+	ARBViolations    uint64
+	ARBOverflows     uint64
+	ARBStoreForwards uint64
+}
+
+// IPC is committed instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Cycles)
+}
+
+// PredAccuracy is the fraction of validated task predictions that were
+// correct.
+func (r *Result) PredAccuracy() float64 {
+	if r.Predictions == 0 {
+		return 0
+	}
+	return float64(r.PredCorrect) / float64(r.Predictions)
+}
+
+// Speedup of this run relative to a baseline cycle count.
+func (r *Result) Speedup(baseline *Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(baseline.Cycles) / float64(r.Cycles)
+}
+
+func (r *Result) String() string {
+	s := fmt.Sprintf("cycles=%d committed=%d IPC=%.3f", r.Cycles, r.Committed, r.IPC())
+	if r.TasksRetired > 0 {
+		s += fmt.Sprintf(" tasks=%d squashed=%d(ctl=%d,mem=%d) pred=%.1f%%",
+			r.TasksRetired, r.TasksSquashed, r.CtlSquashes, r.MemSquashes, 100*r.PredAccuracy())
+	}
+	return s
+}

@@ -1,0 +1,134 @@
+package interp
+
+import (
+	"fmt"
+
+	"multiscalar/internal/isa"
+	"multiscalar/internal/mem"
+)
+
+// Machine is the functional simulator state.
+type Machine struct {
+	Prog *isa.Program
+	Mem  *mem.Memory
+	Regs [isa.NumRegs]Value
+	FCC  bool
+	PC   uint32
+	Env  *SysEnv
+
+	// ICount is the dynamic instruction count — the quantity Table 2
+	// reports.
+	ICount uint64
+	// Class counts broken out for reporting.
+	LoadCount, StoreCount, BranchCount uint64
+}
+
+// NewMachine loads a program image: data segment copied into memory,
+// $sp at the stack top, PC at the entry point.
+func NewMachine(p *isa.Program, env *SysEnv) *Machine {
+	m := &Machine{
+		Prog: p,
+		Mem:  mem.NewMemory(),
+		PC:   p.Entry,
+		Env:  env,
+	}
+	m.Mem.WriteBytes(isa.DataBase, p.Data)
+	m.Regs[isa.RegSP] = IntVal(isa.StackTop)
+	m.Regs[isa.RegGP] = IntVal(isa.DataBase)
+	return m
+}
+
+// Step executes one instruction. It returns an error on traps (bad PC,
+// unaligned access, division by zero, unknown syscall).
+func (m *Machine) Step() error {
+	in := m.Prog.InstrAt(m.PC)
+	if in == nil {
+		return fmt.Errorf("interp: PC 0x%x outside text", m.PC)
+	}
+	nextPC := m.PC + isa.InstrSize
+
+	switch {
+	case in.Op == isa.OpSyscall:
+		ret, writes, err := m.Env.Call(m.Mem,
+			m.Regs[isa.RegV0].I, m.Regs[isa.RegA0].I,
+			m.Regs[isa.RegA1].I, m.Regs[isa.RegA2].I, m.Regs[isa.RegA3].I)
+		if err != nil {
+			return err
+		}
+		if writes {
+			m.Regs[isa.RegV0] = IntVal(ret)
+		}
+	case in.Op.IsLoad():
+		addr := EffAddr(m.Regs[in.Rs], in.Imm)
+		size := in.Op.MemSize()
+		if addr%uint32(size) != 0 {
+			return fmt.Errorf("interp: unaligned %s of 0x%x at PC 0x%x", in.Op, addr, m.PC)
+		}
+		raw := m.Mem.ReadN(addr, size)
+		m.setReg(in.Rd, LoadValue(in.Op, raw))
+		m.LoadCount++
+	case in.Op.IsStore():
+		addr := EffAddr(m.Regs[in.Rs], in.Imm)
+		size := in.Op.MemSize()
+		if addr%uint32(size) != 0 {
+			return fmt.Errorf("interp: unaligned %s of 0x%x at PC 0x%x", in.Op, addr, m.PC)
+		}
+		m.Mem.WriteN(addr, size, StoreValue(in.Op, m.Regs[in.Rt]))
+		m.StoreCount++
+	case in.Op == isa.OpJ:
+		nextPC = in.Target
+		m.BranchCount++
+	case in.Op == isa.OpJal:
+		m.setReg(in.Rd, IntVal(m.PC+isa.InstrSize))
+		nextPC = in.Target
+		m.BranchCount++
+	case in.Op == isa.OpJr:
+		nextPC = m.Regs[in.Rs].I
+		m.BranchCount++
+	case in.Op == isa.OpJalr:
+		target := m.Regs[in.Rs].I
+		m.setReg(in.Rd, IntVal(m.PC+isa.InstrSize))
+		nextPC = target
+		m.BranchCount++
+	default:
+		res, err := Exec(in.Op, m.Regs[in.Rs], m.Regs[in.Rt], in.Imm, m.FCC)
+		if err != nil {
+			return fmt.Errorf("%w at PC 0x%x", err, m.PC)
+		}
+		if in.Op.IsBranch() {
+			if res.Taken {
+				nextPC = in.Target
+			}
+			m.BranchCount++
+		} else if d := in.Dest(); d != isa.RegZero {
+			m.setReg(d, res.Val)
+		}
+		if res.SetFCC {
+			m.FCC = res.FCC
+		}
+	}
+
+	m.ICount++
+	m.PC = nextPC
+	return nil
+}
+
+func (m *Machine) setReg(r isa.Reg, v Value) {
+	if r != isa.RegZero {
+		m.Regs[r] = v
+	}
+}
+
+// Run executes until the program exits or maxInstrs instructions have
+// retired (0 means no limit is a mistake — pass an explicit bound).
+func (m *Machine) Run(maxInstrs uint64) error {
+	for !m.Env.Exited {
+		if m.ICount >= maxInstrs {
+			return fmt.Errorf("interp: exceeded %d instructions without exiting", maxInstrs)
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package interp
+
+import (
+	"bytes"
+	"fmt"
+
+	"multiscalar/internal/isa"
+	"multiscalar/internal/mem"
+)
+
+// Syscall codes (SPIM-style). The paper's simulator traps system calls to
+// the host OS; SysEnv is our host side. Benchmark inputs are pre-loaded
+// into the data segment before the run, so programs only call out for
+// output, heap growth, and exit.
+const (
+	SysPrintInt    = 1
+	SysPrintString = 4
+	SysSbrk        = 9
+	SysExit        = 10
+	SysPrintChar   = 11
+)
+
+// MemReader lets a syscall read program memory through whatever view is
+// correct for the caller: the interpreter passes committed memory; the
+// multiscalar simulator passes a view that consults the ARB first, so a
+// print of a buffer written earlier in the same (not yet retired) task
+// sees the speculative bytes.
+type MemReader interface {
+	Byte(addr uint32) byte
+}
+
+// SysEnv is the host environment shared by all simulators. Running the
+// same program under the interpreter, the scalar simulator, and any
+// multiscalar configuration must produce byte-identical Out contents and
+// equal exit codes.
+type SysEnv struct {
+	Out      bytes.Buffer
+	ExitCode int32
+	Exited   bool
+
+	heapEnd uint32
+}
+
+// NewSysEnv returns an environment with an empty heap at isa.HeapBase.
+func NewSysEnv() *SysEnv {
+	return &SysEnv{heapEnd: isa.HeapBase}
+}
+
+// HeapEnd returns the current sbrk break.
+func (e *SysEnv) HeapEnd() uint32 { return e.heapEnd }
+
+// Call services one syscall. v0 is the syscall code; a0-a3 are arguments.
+// It returns the new $v0 value and whether $v0 is written.
+func (e *SysEnv) Call(m MemReader, v0, a0, a1, a2, a3 uint32) (ret uint32, writesV0 bool, err error) {
+	switch v0 {
+	case SysPrintInt:
+		fmt.Fprintf(&e.Out, "%d", int32(a0))
+		return 0, false, nil
+	case SysPrintChar:
+		e.Out.WriteByte(byte(a0))
+		return 0, false, nil
+	case SysPrintString:
+		for i := 0; i < 1<<20; i++ {
+			b := m.Byte(a0 + uint32(i))
+			if b == 0 {
+				return 0, false, nil
+			}
+			e.Out.WriteByte(b)
+		}
+		return 0, false, fmt.Errorf("interp: unterminated string at 0x%x", a0)
+	case SysSbrk:
+		old := e.heapEnd
+		e.heapEnd += a0
+		return old, true, nil
+	case SysExit:
+		e.Exited = true
+		e.ExitCode = int32(a0)
+		return 0, false, nil
+	default:
+		return 0, false, fmt.Errorf("interp: unknown syscall %d", v0)
+	}
+}
+
+var _ MemReader = (*mem.Memory)(nil)

@@ -1,0 +1,221 @@
+package interp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"multiscalar/internal/isa"
+)
+
+func exec1(t *testing.T, op isa.Op, rs, rt Value, imm int32) ExecResult {
+	t.Helper()
+	r, err := Exec(op, rs, rt, imm, false)
+	if err != nil {
+		t.Fatalf("Exec(%v): %v", op, err)
+	}
+	return r
+}
+
+// Property: integer arithmetic matches Go's two's-complement semantics.
+func TestExecIntArithmeticProperty(t *testing.T) {
+	f := func(a, b uint32, imm int32) bool {
+		rs, rt := IntVal(a), IntVal(b)
+		checks := []struct {
+			op   isa.Op
+			want uint32
+		}{
+			{isa.OpAdd, a + b},
+			{isa.OpSub, a - b},
+			{isa.OpAddi, a + uint32(imm)},
+			{isa.OpAnd, a & b},
+			{isa.OpOr, a | b},
+			{isa.OpXor, a ^ b},
+			{isa.OpNor, ^(a | b)},
+			{isa.OpMul, uint32(int32(a) * int32(b))},
+			{isa.OpSllv, a << (b & 31)},
+			{isa.OpSrlv, a >> (b & 31)},
+			{isa.OpSrav, uint32(int32(a) >> (b & 31))},
+		}
+		for _, c := range checks {
+			r, err := Exec(c.op, rs, rt, imm, false)
+			if err != nil || r.Val.I != c.want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: comparisons agree with Go comparisons.
+func TestExecComparisonProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		rs, rt := IntVal(a), IntVal(b)
+		slt, _ := Exec(isa.OpSlt, rs, rt, 0, false)
+		if (slt.Val.I == 1) != (int32(a) < int32(b)) {
+			return false
+		}
+		sltu, _ := Exec(isa.OpSltu, rs, rt, 0, false)
+		if (sltu.Val.I == 1) != (a < b) {
+			return false
+		}
+		beq, _ := Exec(isa.OpBeq, rs, rt, 0, false)
+		if beq.Taken != (a == b) {
+			return false
+		}
+		bne, _ := Exec(isa.OpBne, rs, rt, 0, false)
+		return bne.Taken == (a != b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: signed division/remainder agree with Go and never panic,
+// including the INT_MIN/-1 wrap.
+func TestExecDivRemProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		if b == 0 {
+			_, err := Exec(isa.OpDiv, IntVal(uint32(a)), IntVal(uint32(b)), 0, false)
+			return err != nil
+		}
+		d, err := Exec(isa.OpDiv, IntVal(uint32(a)), IntVal(uint32(b)), 0, false)
+		if err != nil {
+			return false
+		}
+		r, err := Exec(isa.OpRem, IntVal(uint32(a)), IntVal(uint32(b)), 0, false)
+		if err != nil {
+			return false
+		}
+		if a == math.MinInt32 && b == -1 {
+			return d.Val.I == uint32(a) && r.Val.I == 0
+		}
+		return int32(d.Val.I) == a/b && int32(r.Val.I) == a%b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: double-precision FP matches Go float64 arithmetic bit for
+// bit (NaN payloads aside: generated inputs are finite).
+func TestExecFPProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		rs, rt := FPVal(a), FPVal(b)
+		add, _ := Exec(isa.OpAddD, rs, rt, 0, false)
+		mul, _ := Exec(isa.OpMulD, rs, rt, 0, false)
+		sub, _ := Exec(isa.OpSubD, rs, rt, 0, false)
+		if add.Val.F != a+b || mul.Val.F != a*b || sub.Val.F != a-b {
+			return false
+		}
+		lt, _ := Exec(isa.OpCLtD, rs, rt, 0, false)
+		return lt.FCC == (a < b) && lt.SetFCC
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: load/store value conversion round-trips through raw bytes for
+// every access width.
+func TestLoadStoreValueRoundTripProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		// Word store -> word load.
+		raw := StoreValue(isa.OpSw, IntVal(v))
+		if LoadValue(isa.OpLw, raw).I != v {
+			return false
+		}
+		// Byte: unsigned load recovers the low byte, signed extends.
+		raw = StoreValue(isa.OpSb, IntVal(v))
+		if LoadValue(isa.OpLbu, raw).I != v&0xff {
+			return false
+		}
+		if LoadValue(isa.OpLb, raw).I != uint32(int32(int8(v))) {
+			return false
+		}
+		// Halfword.
+		raw = StoreValue(isa.OpSh, IntVal(v))
+		if LoadValue(isa.OpLhu, raw).I != v&0xffff {
+			return false
+		}
+		return LoadValue(isa.OpLh, raw).I == uint32(int32(int16(v)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: double store/load round-trips exactly; float store/load
+// round-trips through float32.
+func TestFPLoadStoreRoundTripProperty(t *testing.T) {
+	f := func(d float64) bool {
+		raw := StoreValue(isa.OpSdc1, FPVal(d))
+		got := LoadValue(isa.OpLdc1, raw).F
+		if math.IsNaN(d) {
+			return math.IsNaN(got)
+		}
+		if got != d {
+			return false
+		}
+		raw = StoreValue(isa.OpSwc1, FPVal(d))
+		want := float64(float32(d))
+		got = LoadValue(isa.OpLwc1, raw).F
+		if math.IsNaN(want) {
+			return math.IsNaN(got)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampToInt32(t *testing.T) {
+	cases := map[float64]int32{
+		0:            0,
+		1.9:          1,
+		-1.9:         -1,
+		1e18:         math.MaxInt32,
+		-1e18:        math.MinInt32,
+		math.Inf(1):  math.MaxInt32,
+		math.Inf(-1): math.MinInt32,
+	}
+	for in, want := range cases {
+		if got := clampToInt32(in); got != want {
+			t.Errorf("clamp(%g) = %d, want %d", in, got, want)
+		}
+	}
+	if clampToInt32(math.NaN()) != 0 {
+		t.Error("NaN should clamp to 0")
+	}
+}
+
+func TestExecShiftImmediates(t *testing.T) {
+	r := exec1(t, isa.OpSll, IntVal(0x80000001), Value{}, 1)
+	if r.Val.I != 2 {
+		t.Errorf("sll = %x", r.Val.I)
+	}
+	r = exec1(t, isa.OpSra, IntVal(0x80000000), Value{}, 31)
+	if r.Val.I != 0xffffffff {
+		t.Errorf("sra = %x", r.Val.I)
+	}
+	r = exec1(t, isa.OpSrl, IntVal(0x80000000), Value{}, 31)
+	if r.Val.I != 1 {
+		t.Errorf("srl = %x", r.Val.I)
+	}
+}
+
+func TestEffAddr(t *testing.T) {
+	if EffAddr(IntVal(0x1000), -16) != 0xff0 {
+		t.Error("negative offset wrong")
+	}
+	if EffAddr(IntVal(0xffffffff), 1) != 0 {
+		t.Error("wraparound wrong")
+	}
+}

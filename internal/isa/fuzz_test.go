@@ -1,0 +1,50 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadProgram: the container decoder must reject arbitrary bytes with
+// an error, never a panic or an out-of-range allocation.
+func FuzzReadProgram(f *testing.F) {
+	var buf bytes.Buffer
+	p := &Program{
+		Entry: TextBase,
+		Text: []Instr{
+			{Op: OpAddi, Rd: RegT0, Rs: RegZero, Imm: 1},
+			{Op: OpSyscall, Stop: StopAlways},
+		},
+		Data: []byte{1, 2, 3},
+		Tasks: map[uint32]*TaskDescriptor{
+			TextBase: {Name: "main", Entry: TextBase, Create: MaskOf(RegT0),
+				Targets: []uint32{TextBase}},
+		},
+		Symbols: map[string]uint32{"main": TextBase},
+	}
+	if err := WriteProgram(&buf, p); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("MSCB"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := ReadProgram(bytes.NewReader(data))
+		if err == nil {
+			// Anything accepted must be a valid program.
+			if verr := q.Validate(); verr != nil {
+				t.Fatalf("decoded program fails validation: %v", verr)
+			}
+		}
+	})
+}
+
+// FuzzDecodeInstr: instruction decoding never panics.
+func FuzzDecodeInstr(f *testing.F) {
+	in := Instr{Op: OpAddi, Rd: RegT0, Rs: RegT0, Imm: -1, Fwd: true, Stop: StopTaken}
+	f.Add(in.Encode(nil))
+	f.Add(make([]byte, EncodedSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = DecodeInstr(data)
+	})
+}

@@ -1,0 +1,80 @@
+package isa
+
+// Latencies gives the functional-unit latency, in cycles, for each
+// operation category. The defaults reproduce Table 1 of the paper. Memory
+// operations report the address-generation/occupancy latency here; the
+// cache access time on top of it belongs to the memory model (Section 5.1:
+// 2-cycle dcache hits for multiscalar units, 1 cycle for the scalar
+// processor).
+type Latencies struct {
+	IntAddSub  int
+	ShiftLogic int
+	IntMul     int
+	IntDiv     int
+	MemStore   int
+	MemLoad    int
+	Branch     int
+	SPAddSub   int
+	SPMul      int
+	SPDiv      int
+	DPAddSub   int
+	DPMul      int
+	DPDiv      int
+}
+
+// Table1 returns the functional unit latencies from Table 1 of the paper.
+func Table1() Latencies {
+	return Latencies{
+		IntAddSub:  1,
+		ShiftLogic: 1,
+		IntMul:     4,
+		IntDiv:     12,
+		MemStore:   1,
+		MemLoad:    2,
+		Branch:     1,
+		SPAddSub:   2,
+		SPMul:      4,
+		SPDiv:      12,
+		DPAddSub:   2,
+		DPMul:      5,
+		DPDiv:      18,
+	}
+}
+
+// Of returns the execution latency of op under these latencies.
+func (l Latencies) Of(op Op) int {
+	switch op {
+	case OpNop, OpRelease, OpSyscall:
+		return 1
+	case OpAdd, OpSub, OpAddi, OpSlt, OpSltu, OpSlti, OpSltiu, OpLui:
+		return l.IntAddSub
+	case OpAnd, OpOr, OpXor, OpNor, OpAndi, OpOri, OpXori,
+		OpSll, OpSrl, OpSra, OpSllv, OpSrlv, OpSrav:
+		return l.ShiftLogic
+	case OpMul:
+		return l.IntMul
+	case OpDiv, OpRem:
+		return l.IntDiv
+	case OpSb, OpSh, OpSw, OpSwc1, OpSdc1:
+		return l.MemStore
+	case OpLb, OpLbu, OpLh, OpLhu, OpLw, OpLwc1, OpLdc1:
+		return l.MemLoad
+	case OpBeq, OpBne, OpBlez, OpBgtz, OpBltz, OpBgez, OpJ, OpJal, OpJr, OpJalr, OpBc1t, OpBc1f:
+		return l.Branch
+	case OpAddS, OpSubS:
+		return l.SPAddSub
+	case OpMulS:
+		return l.SPMul
+	case OpDivS:
+		return l.SPDiv
+	case OpAddD, OpSubD, OpNegD, OpAbsD, OpMovD, OpCEqD, OpCLtD, OpCLeD,
+		OpMtc1, OpMfc1, OpCvtDW, OpCvtWD, OpCvtSD, OpCvtDS:
+		return l.DPAddSub
+	case OpMulD:
+		return l.DPMul
+	case OpDivD, OpSqrtD:
+		return l.DPDiv
+	default:
+		return 1
+	}
+}

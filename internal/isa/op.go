@@ -1,0 +1,286 @@
+package isa
+
+// Op identifies an operation. The set is MIPS-like: 3-operand integer
+// arithmetic with immediate forms, loads/stores over a big-endian byte
+// addressed memory, compare-and-branch, jumps, single/double precision
+// floating point with a single condition flag, plus the two operations the
+// multiscalar paradigm adds to the base ISA: Release (Section 2.2) and
+// Syscall (the paper's simulator traps system calls to the host).
+type Op uint8
+
+const (
+	OpNop Op = iota
+
+	// Integer arithmetic, register forms: rd <- rs OP rt.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // rd <- rs / rt (signed); traps on divide by zero
+	OpRem // rd <- rs % rt (signed)
+	OpAnd
+	OpOr
+	OpXor
+	OpNor
+	OpSllv // rd <- rs << (rt & 31)
+	OpSrlv
+	OpSrav
+	OpSlt  // rd <- (rs < rt) signed
+	OpSltu // rd <- (rs < rt) unsigned
+
+	// Integer arithmetic, immediate forms: rd <- rs OP imm.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlti
+	OpSltiu
+	OpSll // rd <- rs << imm
+	OpSrl
+	OpSra
+	OpLui // rd <- imm << 16
+
+	// Memory: loads rd <- mem[rs+imm], stores mem[rs+imm] <- rt.
+	OpLb
+	OpLbu
+	OpLh
+	OpLhu
+	OpLw
+	OpSb
+	OpSh
+	OpSw
+	OpLwc1 // l.s: FP rd <- mem32[rs+imm]
+	OpLdc1 // l.d: FP rd <- mem64[rs+imm]
+	OpSwc1 // s.s: mem32[rs+imm] <- FP rt
+	OpSdc1 // s.d: mem64[rs+imm] <- FP rt
+
+	// Control transfer. Conditional branches compare rs (and rt) and
+	// branch to Target. Jumps transfer to Target (OpJ, OpJal) or to the
+	// address in rs (OpJr, OpJalr); OpJal/OpJalr write the return address
+	// into rd (conventionally $ra).
+	OpBeq
+	OpBne
+	OpBlez
+	OpBgtz
+	OpBltz
+	OpBgez
+	OpJ
+	OpJal
+	OpJr
+	OpJalr
+	OpBc1t // branch if FP condition flag set
+	OpBc1f // branch if FP condition flag clear
+
+	// Floating point, single precision: fd <- fs OP ft.
+	OpAddS
+	OpSubS
+	OpMulS
+	OpDivS
+	// Floating point, double precision.
+	OpAddD
+	OpSubD
+	OpMulD
+	OpDivD
+	OpNegD
+	OpAbsD
+	OpMovD  // fd <- fs
+	OpSqrtD // fd <- sqrt(fs); latency of DP divide
+
+	// FP compares set the FP condition flag: fcc <- fs OP ft.
+	OpCEqD
+	OpCLtD
+	OpCLeD
+
+	// Conversions and transfers between the files.
+	OpMtc1  // FP rd <- int rs (bit pattern as int32 value)
+	OpMfc1  // int rd <- FP rs (truncating the represented value to int32)
+	OpCvtDW // FP rd <- double(int value in FP rs)
+	OpCvtWD // FP rd <- int32(double in FP rs), stored as value
+	OpCvtSD // FP rd <- single(double in FP rs)
+	OpCvtDS // FP rd <- double(single in FP rs)
+
+	// Multiscalar-specific operations (Section 2.2).
+	OpRelease // release rs: forward the current value of rs to later tasks
+
+	// Environment.
+	OpSyscall // host syscall: code in $v0, args in $a0-$a3, result in $v0
+
+	numOps // sentinel
+)
+
+// FUClass identifies which functional unit services an operation
+// (Section 5.1: 1-2 simple integer, 1 complex integer, 1 floating point,
+// 1 branch, 1 memory unit per processing unit).
+type FUClass uint8
+
+const (
+	FUSimpleInt FUClass = iota
+	FUComplexInt
+	FUFloat
+	FUBranch
+	FUMemory
+	NumFUClasses
+)
+
+var fuClassNames = [NumFUClasses]string{"simple-int", "complex-int", "float", "branch", "memory"}
+
+func (c FUClass) String() string {
+	if int(c) < len(fuClassNames) {
+		return fuClassNames[c]
+	}
+	return "bad-fu-class"
+}
+
+type opInfo struct {
+	name    string
+	class   FUClass
+	load    bool
+	store   bool
+	branch  bool // conditional branch
+	jump    bool // unconditional control transfer
+	imm     bool // uses Imm field
+	setsFCC bool
+	memSize uint8 // bytes accessed for loads/stores
+}
+
+var opInfos = [numOps]opInfo{
+	OpNop: {name: "nop", class: FUSimpleInt},
+
+	OpAdd:  {name: "add", class: FUSimpleInt},
+	OpSub:  {name: "sub", class: FUSimpleInt},
+	OpMul:  {name: "mul", class: FUComplexInt},
+	OpDiv:  {name: "div", class: FUComplexInt},
+	OpRem:  {name: "rem", class: FUComplexInt},
+	OpAnd:  {name: "and", class: FUSimpleInt},
+	OpOr:   {name: "or", class: FUSimpleInt},
+	OpXor:  {name: "xor", class: FUSimpleInt},
+	OpNor:  {name: "nor", class: FUSimpleInt},
+	OpSllv: {name: "sllv", class: FUSimpleInt},
+	OpSrlv: {name: "srlv", class: FUSimpleInt},
+	OpSrav: {name: "srav", class: FUSimpleInt},
+	OpSlt:  {name: "slt", class: FUSimpleInt},
+	OpSltu: {name: "sltu", class: FUSimpleInt},
+
+	OpAddi:  {name: "addi", class: FUSimpleInt, imm: true},
+	OpAndi:  {name: "andi", class: FUSimpleInt, imm: true},
+	OpOri:   {name: "ori", class: FUSimpleInt, imm: true},
+	OpXori:  {name: "xori", class: FUSimpleInt, imm: true},
+	OpSlti:  {name: "slti", class: FUSimpleInt, imm: true},
+	OpSltiu: {name: "sltiu", class: FUSimpleInt, imm: true},
+	OpSll:   {name: "sll", class: FUSimpleInt, imm: true},
+	OpSrl:   {name: "srl", class: FUSimpleInt, imm: true},
+	OpSra:   {name: "sra", class: FUSimpleInt, imm: true},
+	OpLui:   {name: "lui", class: FUSimpleInt, imm: true},
+
+	OpLb:   {name: "lb", class: FUMemory, load: true, imm: true, memSize: 1},
+	OpLbu:  {name: "lbu", class: FUMemory, load: true, imm: true, memSize: 1},
+	OpLh:   {name: "lh", class: FUMemory, load: true, imm: true, memSize: 2},
+	OpLhu:  {name: "lhu", class: FUMemory, load: true, imm: true, memSize: 2},
+	OpLw:   {name: "lw", class: FUMemory, load: true, imm: true, memSize: 4},
+	OpSb:   {name: "sb", class: FUMemory, store: true, imm: true, memSize: 1},
+	OpSh:   {name: "sh", class: FUMemory, store: true, imm: true, memSize: 2},
+	OpSw:   {name: "sw", class: FUMemory, store: true, imm: true, memSize: 4},
+	OpLwc1: {name: "l.s", class: FUMemory, load: true, imm: true, memSize: 4},
+	OpLdc1: {name: "l.d", class: FUMemory, load: true, imm: true, memSize: 8},
+	OpSwc1: {name: "s.s", class: FUMemory, store: true, imm: true, memSize: 4},
+	OpSdc1: {name: "s.d", class: FUMemory, store: true, imm: true, memSize: 8},
+
+	OpBeq:  {name: "beq", class: FUBranch, branch: true},
+	OpBne:  {name: "bne", class: FUBranch, branch: true},
+	OpBlez: {name: "blez", class: FUBranch, branch: true},
+	OpBgtz: {name: "bgtz", class: FUBranch, branch: true},
+	OpBltz: {name: "bltz", class: FUBranch, branch: true},
+	OpBgez: {name: "bgez", class: FUBranch, branch: true},
+	OpJ:    {name: "j", class: FUBranch, jump: true},
+	OpJal:  {name: "jal", class: FUBranch, jump: true},
+	OpJr:   {name: "jr", class: FUBranch, jump: true},
+	OpJalr: {name: "jalr", class: FUBranch, jump: true},
+	OpBc1t: {name: "bc1t", class: FUBranch, branch: true},
+	OpBc1f: {name: "bc1f", class: FUBranch, branch: true},
+
+	OpAddS: {name: "add.s", class: FUFloat},
+	OpSubS: {name: "sub.s", class: FUFloat},
+	OpMulS: {name: "mul.s", class: FUFloat},
+	OpDivS: {name: "div.s", class: FUFloat},
+	OpAddD: {name: "add.d", class: FUFloat},
+	OpSubD: {name: "sub.d", class: FUFloat},
+	OpMulD: {name: "mul.d", class: FUFloat},
+	OpDivD: {name: "div.d", class: FUFloat},
+	OpNegD: {name: "neg.d", class: FUFloat},
+	OpAbsD: {name: "abs.d", class: FUFloat},
+	OpMovD: {name: "mov.d", class: FUFloat},
+
+	OpSqrtD: {name: "sqrt.d", class: FUFloat},
+
+	OpCEqD: {name: "c.eq.d", class: FUFloat, setsFCC: true},
+	OpCLtD: {name: "c.lt.d", class: FUFloat, setsFCC: true},
+	OpCLeD: {name: "c.le.d", class: FUFloat, setsFCC: true},
+
+	OpMtc1:  {name: "mtc1", class: FUFloat},
+	OpMfc1:  {name: "mfc1", class: FUFloat},
+	OpCvtDW: {name: "cvt.d.w", class: FUFloat},
+	OpCvtWD: {name: "cvt.w.d", class: FUFloat},
+	OpCvtSD: {name: "cvt.s.d", class: FUFloat},
+	OpCvtDS: {name: "cvt.d.s", class: FUFloat},
+
+	OpRelease: {name: "release", class: FUSimpleInt},
+	OpSyscall: {name: "syscall", class: FUSimpleInt},
+}
+
+// Valid reports whether op names a defined operation.
+func (op Op) Valid() bool { return op < numOps && opInfos[op].name != "" }
+
+// String returns the assembly mnemonic for the operation.
+func (op Op) String() string {
+	if op.Valid() {
+		return opInfos[op].name
+	}
+	return "bad-op"
+}
+
+// Class returns the functional unit class that services op.
+func (op Op) Class() FUClass { return opInfos[op].class }
+
+// IsLoad reports whether op reads memory.
+func (op Op) IsLoad() bool { return opInfos[op].load }
+
+// IsStore reports whether op writes memory.
+func (op Op) IsStore() bool { return opInfos[op].store }
+
+// IsMem reports whether op accesses memory.
+func (op Op) IsMem() bool { return opInfos[op].load || opInfos[op].store }
+
+// IsBranch reports whether op is a conditional branch.
+func (op Op) IsBranch() bool { return opInfos[op].branch }
+
+// IsJump reports whether op is an unconditional control transfer.
+func (op Op) IsJump() bool { return opInfos[op].jump }
+
+// IsControl reports whether op can redirect the program counter.
+func (op Op) IsControl() bool { return opInfos[op].branch || opInfos[op].jump }
+
+// HasImm reports whether op uses the immediate field.
+func (op Op) HasImm() bool { return opInfos[op].imm }
+
+// SetsFCC reports whether op writes the FP condition flag.
+func (op Op) SetsFCC() bool { return opInfos[op].setsFCC }
+
+// MemSize returns the access width in bytes for memory operations, 0 for
+// everything else.
+func (op Op) MemSize() int { return int(opInfos[op].memSize) }
+
+// opsByName maps mnemonics back to opcodes for the assembler.
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op := Op(0); op < numOps; op++ {
+		if opInfos[op].name != "" {
+			m[opInfos[op].name] = op
+		}
+	}
+	return m
+}()
+
+// OpByName returns the operation with the given mnemonic.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}

@@ -1,0 +1,116 @@
+package isa
+
+import "testing"
+
+func sampleProgram() *Program {
+	text := []Instr{
+		{Op: OpAddi, Rd: RegT0, Rs: RegZero, Imm: 3},                            // 0x1000
+		{Op: OpAddi, Rd: RegT0, Rs: RegT0, Imm: -1, Fwd: true},                  // 0x1004
+		{Op: OpBne, Rs: RegT0, Rt: RegZero, Target: 0x1004, Stop: StopNotTaken}, // 0x1008
+		{Op: OpSyscall}, // 0x100c
+	}
+	p := &Program{
+		Entry: TextBase,
+		Text:  text,
+		Tasks: map[uint32]*TaskDescriptor{
+			0x1004: {
+				Name:    "loop",
+				Entry:   0x1004,
+				Create:  MaskOf(RegT0),
+				Targets: []uint32{0x1004, 0x100c},
+			},
+		},
+		Symbols: map[string]uint32{"loop": 0x1004},
+	}
+	return p
+}
+
+func TestProgramInstrAt(t *testing.T) {
+	p := sampleProgram()
+	if in := p.InstrAt(TextBase); in == nil || in.Op != OpAddi {
+		t.Fatalf("InstrAt(TextBase) = %v", in)
+	}
+	if in := p.InstrAt(TextBase + 8); in == nil || in.Op != OpBne {
+		t.Fatalf("InstrAt(+8) = %v", in)
+	}
+	if p.InstrAt(TextBase+1) != nil {
+		t.Error("unaligned InstrAt should be nil")
+	}
+	if p.InstrAt(TextBase-4) != nil {
+		t.Error("below-text InstrAt should be nil")
+	}
+	if p.InstrAt(p.TextEnd()) != nil {
+		t.Error("past-end InstrAt should be nil")
+	}
+}
+
+func TestProgramValidateOK(t *testing.T) {
+	if err := sampleProgram().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestProgramValidateErrors(t *testing.T) {
+	p := sampleProgram()
+	p.Entry = 0
+	if err := p.Validate(); err == nil {
+		t.Error("bad entry should fail")
+	}
+
+	p = sampleProgram()
+	p.Tasks[0x1004].Targets = nil
+	if err := p.Validate(); err != nil {
+		t.Errorf("terminal task (no targets) should validate: %v", err)
+	}
+
+	p = sampleProgram()
+	p.Tasks[0x1004].Targets = []uint32{0x1004, 0x1004, 0x1004, 0x1004, 0x1004}
+	if err := p.Validate(); err == nil {
+		t.Error("too many targets should fail")
+	}
+
+	p = sampleProgram()
+	p.Tasks[0x1004].Targets = []uint32{0x9999_0000}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-text target should fail")
+	}
+
+	p = sampleProgram()
+	p.Text[2].Target = 0x9000_0000
+	if err := p.Validate(); err == nil {
+		t.Error("branch outside text should fail")
+	}
+
+	p = sampleProgram()
+	p.Text = nil
+	if err := p.Validate(); err == nil {
+		t.Error("empty text should fail")
+	}
+}
+
+func TestTargetReturnAllowed(t *testing.T) {
+	p := sampleProgram()
+	p.Tasks[0x1004].Targets = []uint32{TargetReturn}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("TargetReturn should validate: %v", err)
+	}
+}
+
+func TestTaskDescriptorHelpers(t *testing.T) {
+	td := &TaskDescriptor{Name: "x", Entry: 0x1000, Targets: []uint32{0x1000, 0x2000}}
+	if !td.HasTarget(0x2000) || td.HasTarget(0x3000) {
+		t.Error("HasTarget wrong")
+	}
+	if td.TargetIndex(0x2000) != 1 || td.TargetIndex(0x3000) != -1 {
+		t.Error("TargetIndex wrong")
+	}
+}
+
+func TestTaskListSorted(t *testing.T) {
+	p := sampleProgram()
+	p.Tasks[0x1000] = &TaskDescriptor{Name: "a", Entry: 0x1000, Targets: []uint32{0x1004}}
+	list := p.TaskList()
+	if len(list) != 2 || list[0].Entry != 0x1000 || list[1].Entry != 0x1004 {
+		t.Fatalf("TaskList = %v", list)
+	}
+}

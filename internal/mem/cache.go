@@ -1,0 +1,148 @@
+package mem
+
+// Cache is a direct-mapped, timing-only cache: data always lives in the
+// backing Memory (or, for speculative state, in the ARB); the cache tracks
+// tags to decide hit/miss latency, and models non-blocking misses with a
+// small set of outstanding-fetch registers (MSHRs) that merge requests to
+// a block already in flight.
+type Cache struct {
+	Name       string
+	SizeBytes  int
+	BlockBytes int
+	HitLatency int
+
+	bus  *Bus
+	sets int
+	tags []uint32
+	vld  []bool
+
+	// stride divides block numbers before set indexing: a bank that only
+	// sees every Nth block must spread those blocks over all its sets.
+	stride uint32
+
+	mshrs []mshr // outstanding block fetches
+	nmshr int
+
+	// Stats
+	Hits, Misses, Merges uint64
+}
+
+type mshr struct {
+	block   uint32
+	readyAt uint64
+}
+
+// NewCache builds a direct-mapped cache backed by bus for miss traffic.
+func NewCache(name string, sizeBytes, blockBytes, hitLatency, numMSHRs int, bus *Bus) *Cache {
+	sets := sizeBytes / blockBytes
+	return &Cache{
+		Name:       name,
+		SizeBytes:  sizeBytes,
+		BlockBytes: blockBytes,
+		HitLatency: hitLatency,
+		bus:        bus,
+		sets:       sets,
+		tags:       make([]uint32, sets),
+		vld:        make([]bool, sets),
+		nmshr:      numMSHRs,
+		stride:     1,
+	}
+}
+
+// SetStride declares that this cache only sees every strideth block
+// (bank interleaving), so set indexing divides the stride out first.
+func (c *Cache) SetStride(stride int) {
+	if stride > 0 {
+		c.stride = uint32(stride)
+	}
+}
+
+func (c *Cache) index(addr uint32) (set int, tag uint32) {
+	block := addr / uint32(c.BlockBytes) / c.stride
+	return int(block) % c.sets, block / uint32(c.sets)
+}
+
+// Lookup reports whether addr currently hits, without touching state.
+func (c *Cache) Lookup(addr uint32) bool {
+	set, tag := c.index(addr)
+	return c.vld[set] && c.tags[set] == tag
+}
+
+// Access performs a load or store at cycle now and returns the cycle the
+// access completes. Stores allocate on miss (write-allocate, write-back;
+// eviction write-back cost is absorbed by a write buffer and not modeled,
+// matching the paper's level of detail).
+func (c *Cache) Access(now uint64, addr uint32, write bool) (done uint64) {
+	set, tag := c.index(addr)
+	block := addr / uint32(c.BlockBytes)
+	if c.vld[set] && c.tags[set] == tag {
+		// Tag present — but if the block is still being filled, the data
+		// arrives with the fill, not at the hit latency.
+		for i := range c.mshrs {
+			if c.mshrs[i].block == block && c.mshrs[i].readyAt > now {
+				c.Merges++
+				return c.mshrs[i].readyAt + uint64(c.HitLatency)
+			}
+		}
+		c.Hits++
+		return now + uint64(c.HitLatency)
+	}
+	// Merge with an in-flight fetch of the same block.
+	live := c.mshrs[:0]
+	var merged *mshr
+	for i := range c.mshrs {
+		if c.mshrs[i].readyAt > now {
+			live = append(live, c.mshrs[i])
+			if c.mshrs[i].block == block {
+				merged = &live[len(live)-1]
+			}
+		}
+	}
+	c.mshrs = live
+	if merged != nil {
+		c.Merges++
+		return merged.readyAt + uint64(c.HitLatency)
+	}
+
+	c.Misses++
+	start := now
+	if len(c.mshrs) >= c.nmshr {
+		// All MSHRs busy: wait for the earliest to free.
+		earliest := c.mshrs[0].readyAt
+		for _, m := range c.mshrs[1:] {
+			if m.readyAt < earliest {
+				earliest = m.readyAt
+			}
+		}
+		start = earliest
+		live = c.mshrs[:0]
+		for _, m := range c.mshrs {
+			if m.readyAt > start {
+				live = append(live, m)
+			}
+		}
+		c.mshrs = live
+	}
+	fill := c.bus.Access(start+uint64(c.HitLatency), c.BlockBytes/4)
+	c.mshrs = append(c.mshrs, mshr{block: block, readyAt: fill})
+	c.vld[set], c.tags[set] = true, tag
+	return fill + uint64(c.HitLatency)
+}
+
+// Reset invalidates the cache and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.vld {
+		c.vld[i] = false
+	}
+	c.mshrs = nil
+	c.Hits, c.Misses, c.Merges = 0, 0, 0
+}
+
+// MissRate returns the fraction of accesses that missed.
+func (c *Cache) MissRate() float64 {
+	total := c.Hits + c.Misses + c.Merges
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(total)
+}

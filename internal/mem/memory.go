@@ -1,0 +1,133 @@
+// Package mem provides the memory hierarchy: the backing store shared by
+// all simulators plus the timing models from Section 5.1 of the paper —
+// the split-transaction memory bus, direct-mapped caches, and the
+// interleaved data banks behind a crossbar.
+package mem
+
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+// Memory is a sparse, paged, big-endian, byte-addressable store over the
+// full 32-bit address space. The zero value is ready to use.
+type Memory struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
+	if m.pages == nil {
+		if !create {
+			return nil
+		}
+		m.pages = make(map[uint32]*[pageSize]byte)
+	}
+	key := addr >> pageBits
+	p := m.pages[key]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// Byte returns the byte at addr (0 if never written).
+func (m *Memory) Byte(addr uint32) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// SetByte stores one byte.
+func (m *Memory) SetByte(addr uint32, v byte) {
+	m.page(addr, true)[addr&(pageSize-1)] = v
+}
+
+// ReadN reads size bytes starting at addr as a big-endian unsigned value.
+// size must be 1, 2, 4 or 8.
+func (m *Memory) ReadN(addr uint32, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v = v<<8 | uint64(m.Byte(addr+uint32(i)))
+	}
+	return v
+}
+
+// WriteN stores the low size bytes of v big-endian at addr.
+func (m *Memory) WriteN(addr uint32, size int, v uint64) {
+	for i := size - 1; i >= 0; i-- {
+		m.SetByte(addr+uint32(i), byte(v))
+		v >>= 8
+	}
+}
+
+// ReadWord reads a 32-bit big-endian word.
+func (m *Memory) ReadWord(addr uint32) uint32 { return uint32(m.ReadN(addr, 4)) }
+
+// WriteWord stores a 32-bit big-endian word.
+func (m *Memory) WriteWord(addr uint32, v uint32) { m.WriteN(addr, 4, uint64(v)) }
+
+// WriteBytes copies buf into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint32, buf []byte) {
+	for len(buf) > 0 {
+		p := m.page(addr, true)
+		off := int(addr & (pageSize - 1))
+		n := copy(p[off:], buf)
+		buf = buf[n:]
+		addr += uint32(n)
+	}
+}
+
+// Bytes copies n bytes starting at addr into a new slice.
+func (m *Memory) Bytes(addr uint32, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.Byte(addr + uint32(i))
+	}
+	return out
+}
+
+// ReadCString reads a NUL-terminated string starting at addr, up to max
+// bytes.
+func (m *Memory) ReadCString(addr uint32, max int) string {
+	var out []byte
+	for i := 0; i < max; i++ {
+		b := m.Byte(addr + uint32(i))
+		if b == 0 {
+			break
+		}
+		out = append(out, b)
+	}
+	return string(out)
+}
+
+// Equal reports whether two memories hold identical contents.
+func (m *Memory) Equal(o *Memory) bool {
+	return m.subsetOf(o) && o.subsetOf(m)
+}
+
+func (m *Memory) subsetOf(o *Memory) bool {
+	for key, p := range m.pages {
+		var q *[pageSize]byte
+		if o.pages != nil {
+			q = o.pages[key]
+		}
+		if q == nil {
+			for _, b := range p {
+				if b != 0 {
+					return false
+				}
+			}
+			continue
+		}
+		if *p != *q {
+			return false
+		}
+	}
+	return true
+}

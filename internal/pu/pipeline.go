@@ -1,0 +1,345 @@
+package pu
+
+import (
+	"fmt"
+
+	"multiscalar/internal/interp"
+	"multiscalar/internal/isa"
+)
+
+// fuLimit returns how many operations of a class may start per cycle:
+// Section 5.1 gives each unit 1 or 2 simple integer FUs (matching the
+// issue width), and 1 each of complex integer, floating point, branch and
+// memory — all pipelined, so each accepts one operation per cycle.
+func (u *Unit) fuLimit(c isa.FUClass) int {
+	if c == isa.FUSimpleInt && u.cfg.IssueWidth >= 2 {
+		return 2
+	}
+	return 1
+}
+
+// issue scans the window oldest-first and starts ready instructions:
+// strictly in program order for in-order units, any ready instruction for
+// out-of-order units. Completion is out of order in both cases.
+func (u *Unit) issue(now uint64) error {
+	var fuUsed [isa.NumFUClasses]int
+	issued := 0
+	// Track, per scan position, facts about older entries.
+	olderUnresolvedCtl := false
+	olderUnissuedMem := false
+	olderSyscall := false
+
+	for i := 0; i < len(u.rob) && issued < u.cfg.IssueWidth; i++ {
+		e := &u.rob[i]
+		if e.state != stDispatched {
+			if e.instr.Op.IsControl() && e.state != stDone {
+				olderUnresolvedCtl = true
+			}
+			if e.instr.Op == isa.OpSyscall {
+				olderSyscall = true
+			}
+			continue
+		}
+
+		ok, err := u.tryIssue(now, i, e, &fuUsed, olderUnresolvedCtl, olderUnissuedMem, olderSyscall)
+		if err != nil {
+			return err
+		}
+		if ok {
+			issued++
+			u.issuedNow++
+		} else if !u.cfg.OutOfOrder {
+			break // in-order issue: stop at the first stalled instruction
+		}
+		if e.state != stDone && e.instr.Op.IsControl() {
+			olderUnresolvedCtl = true
+		}
+		if e.instr.Op.IsMem() && !e.memDone {
+			olderUnissuedMem = true
+		}
+		if e.instr.Op == isa.OpSyscall {
+			olderSyscall = true
+		}
+	}
+	return nil
+}
+
+// operand fetches one source register: from the youngest older in-flight
+// producer, or the external register file.
+func (u *Unit) operand(now uint64, idx int, r isa.Reg) (interp.Value, bool) {
+	if r == isa.RegZero {
+		return interp.Value{}, true
+	}
+	for j := idx - 1; j >= 0; j-- {
+		p := &u.rob[j]
+		if p.instr.Dest() == r || (p.instr.Op == isa.OpSyscall && r == isa.RegV0) {
+			// A syscall may write $v0; its value is only known at retire,
+			// so consumers wait (the syscall-serializing rule also blocks
+			// them from issuing, this is belt and braces).
+			if p.instr.Op == isa.OpSyscall {
+				return interp.Value{}, false
+			}
+			if p.state == stDone {
+				return p.val, true
+			}
+			return interp.Value{}, false
+		}
+	}
+	v, ready := u.ext.ReadReg(now, r)
+	if !ready {
+		u.waitingExt = true
+	}
+	return v, ready
+}
+
+// fccOperand resolves the FP condition flag for bc1t/bc1f.
+func (u *Unit) fccOperand(idx int) (bool, bool) {
+	for j := idx - 1; j >= 0; j-- {
+		p := &u.rob[j]
+		if p.setFCC || p.instr.Op.SetsFCC() {
+			if p.state == stDone {
+				return p.fcc, true
+			}
+			return false, false
+		}
+	}
+	return u.committedFCC, true
+}
+
+func (u *Unit) tryIssue(now uint64, idx int, e *robEntry, fuUsed *[isa.NumFUClasses]int,
+	olderUnresolvedCtl, olderUnissuedMem, olderSyscall bool) (bool, error) {
+
+	in := e.instr
+	if olderSyscall {
+		return false, nil // syscalls serialize the window
+	}
+	class := in.Op.Class()
+	if fuUsed[class] >= u.fuLimit(class) {
+		return false, nil
+	}
+	if in.Op.IsMem() && (olderUnresolvedCtl || olderUnissuedMem) {
+		// Memory operations wait for older branches to resolve (wrong-path
+		// loads/stores must never reach the ARB) and issue to the single
+		// memory unit in program order.
+		return false, nil
+	}
+	if in.Op == isa.OpSyscall && idx != 0 {
+		return false, nil // syscall executes only when oldest
+	}
+
+	// Gather operands.
+	var rsV, rtV interp.Value
+	var fcc bool
+	for _, src := range in.Sources() {
+		v, ready := u.operand(now, idx, src)
+		if !ready {
+			return false, nil
+		}
+		if src == in.Rs {
+			rsV = v
+		}
+		if src == in.Rt {
+			rtV = v
+		}
+	}
+	// Syscall reads fixed registers; map them explicitly at retire time
+	// via the Ext, so nothing more to do here.
+	if in.ReadsFCC() {
+		v, ready := u.fccOperand(idx)
+		if !ready {
+			return false, nil
+		}
+		fcc = v
+	}
+
+	// Shared functional units (if the machine has them) are claimed last,
+	// once the operation is otherwise ready to start.
+	if u.shared != nil && (class == isa.FUFloat || class == isa.FUComplexInt) {
+		if !u.shared.ClaimSharedFU(now, class) {
+			return false, nil
+		}
+	}
+
+	// Execute.
+	switch {
+	case in.Op.IsLoad():
+		addr := interp.EffAddr(rsV, in.Imm)
+		if addr%uint32(in.Op.MemSize()) != 0 {
+			return false, fmt.Errorf("pu%d: unaligned %s of 0x%x at 0x%x", u.ID, in.Op, addr, e.addr)
+		}
+		v, done, ok := u.ext.Load(now, in.Op, addr)
+		if !ok {
+			return false, nil // ARB overflow: retry
+		}
+		e.val = v
+		e.doneAt = done
+		e.memDone = true
+	case in.Op.IsStore():
+		addr := interp.EffAddr(rsV, in.Imm)
+		if addr%uint32(in.Op.MemSize()) != 0 {
+			return false, fmt.Errorf("pu%d: unaligned %s of 0x%x at 0x%x", u.ID, in.Op, addr, e.addr)
+		}
+		done, ok := u.ext.Store(now, in.Op, addr, rtV)
+		if !ok {
+			return false, nil
+		}
+		e.doneAt = done
+		e.memDone = true
+	case in.Op == isa.OpSyscall:
+		// Executes at retire; occupy one cycle here.
+		e.doneAt = now + 1
+	case in.Op == isa.OpRelease:
+		// The released value is the register's current value; it is
+		// forwarded on the ring at local retire.
+		e.val = rsV
+		e.doneAt = now + 1
+	case in.Op == isa.OpJ:
+		e.actualNext = in.Target
+		e.doneAt = now + uint64(u.cfg.Latencies.Of(in.Op))
+	case in.Op == isa.OpJal:
+		e.actualNext = in.Target
+		e.val = interp.IntVal(e.addr + isa.InstrSize)
+		e.doneAt = now + uint64(u.cfg.Latencies.Of(in.Op))
+	case in.Op == isa.OpJr:
+		e.actualNext = rsV.I
+		e.doneAt = now + uint64(u.cfg.Latencies.Of(in.Op))
+	case in.Op == isa.OpJalr:
+		e.actualNext = rsV.I
+		e.val = interp.IntVal(e.addr + isa.InstrSize)
+		e.doneAt = now + uint64(u.cfg.Latencies.Of(in.Op))
+		u.bp.UpdateIndirect(e.addr, rsV.I)
+	default:
+		res, err := interp.Exec(in.Op, rsV, rtV, in.Imm, fcc)
+		if err != nil {
+			return false, fmt.Errorf("pu%d at 0x%x: %w", u.ID, e.addr, err)
+		}
+		e.val = res.Val
+		e.fcc, e.setFCC = res.FCC, res.SetFCC
+		e.doneAt = now + uint64(u.cfg.Latencies.Of(in.Op))
+		if in.Op.IsBranch() {
+			e.taken = res.Taken
+			if res.Taken {
+				e.actualNext = in.Target
+			} else {
+				e.actualNext = e.addr + isa.InstrSize
+			}
+			predTaken := e.predictedNext == in.Target && in.Target != e.addr+isa.InstrSize
+			if in.Target == e.addr+isa.InstrSize {
+				predTaken = res.Taken // degenerate branch: any prediction is right
+			}
+			u.bp.UpdateTaken(e.addr, res.Taken, predTaken)
+		}
+	}
+
+	// Resolve actualNext and the stop condition for non-control ops.
+	if !in.Op.IsControl() {
+		e.actualNext = e.addr + isa.InstrSize
+	}
+	switch in.Stop {
+	case isa.StopAlways:
+		e.stopHit = true
+	case isa.StopTaken:
+		e.stopHit = e.taken
+	case isa.StopNotTaken:
+		e.stopHit = !e.taken
+	}
+
+	e.state = stIssued
+	fuUsed[class]++
+	return true, nil
+}
+
+// dispatch moves fetched instructions into the window.
+func (u *Unit) dispatch(now uint64) {
+	n := 0
+	for n < u.cfg.IssueWidth && len(u.fetchQ) > 0 && len(u.rob) < u.cfg.ROBSize {
+		f := u.fetchQ[0]
+		u.fetchQ = u.fetchQ[1:]
+		u.rob = append(u.rob, robEntry{
+			addr:          f.addr,
+			instr:         f.instr,
+			state:         stDispatched,
+			predictedNext: f.predictedNext,
+		})
+		n++
+	}
+}
+
+// fetch pulls up to four instructions per cycle from the instruction
+// cache along the predicted path.
+func (u *Unit) fetch(now uint64) {
+	if u.fetchStopped || u.done {
+		return
+	}
+	in := u.prog.InstrAt(u.pc)
+	if in == nil {
+		return // waiting for a resolve to redirect (e.g. unpredicted jr)
+	}
+	group := u.pc &^ 15
+	if u.fetchGroup != group {
+		u.fetchGroup = group
+		u.fetchReady = u.ext.FetchDone(now, group)
+	}
+	if u.fetchReady > now {
+		return
+	}
+
+	for fetched := 0; fetched < 4 && len(u.fetchQ) < u.cfg.FetchQSize; fetched++ {
+		in := u.prog.InstrAt(u.pc)
+		if in == nil {
+			return
+		}
+		addr := u.pc
+		f := fetchedInstr{addr: addr, instr: in}
+		redirect := false
+		stop := false
+
+		switch {
+		case in.Op == isa.OpJ:
+			f.predictedNext = in.Target
+			redirect = true
+		case in.Op == isa.OpJal:
+			f.predictedNext = in.Target
+			u.bp.PushReturn(addr + isa.InstrSize)
+			redirect = true
+		case in.Op == isa.OpJr:
+			f.predictedNext = u.bp.PredictReturn()
+			redirect = true
+		case in.Op == isa.OpJalr:
+			f.predictedNext = u.bp.PredictIndirect(addr)
+			u.bp.PushReturn(addr + isa.InstrSize)
+			redirect = true
+		case in.Op.IsBranch():
+			predTaken := u.bp.PredictTaken(addr)
+			if predTaken {
+				f.predictedNext = in.Target
+				redirect = true
+			} else {
+				f.predictedNext = addr + isa.InstrSize
+			}
+			switch in.Stop {
+			case isa.StopTaken:
+				stop = predTaken
+			case isa.StopNotTaken:
+				stop = !predTaken
+			}
+		default:
+			f.predictedNext = addr + isa.InstrSize
+		}
+		if in.Stop == isa.StopAlways {
+			stop = true
+		}
+
+		u.fetchQ = append(u.fetchQ, f)
+
+		if stop {
+			u.fetchStopped = true
+			return
+		}
+		u.pc = f.predictedNext
+		if redirect || u.pc&^15 != group {
+			u.fetchGroup = ^uint32(0) // new group next cycle
+			return
+		}
+	}
+}

@@ -1,0 +1,419 @@
+// Package pu implements one processing unit: a 5-stage (IF/ID/EX/MEM/WB)
+// pipeline configurable as 1-way or 2-way issue, in-order or out-of-order
+// (Section 5.1 of the paper), with out-of-order completion, pipelined
+// functional units at Table 1 latencies, non-blocking memory operations,
+// and per-unit branch prediction.
+//
+// The same Unit type is the scalar baseline processor and each of the
+// parallel units of a multiscalar processor — the paper's speedups compare
+// "identical processing units". Everything outside the unit (register
+// file semantics, memory hierarchy, ARB, syscalls) is reached through the
+// Ext interface, which is where the scalar and multiscalar machines
+// differ.
+package pu
+
+import (
+	"fmt"
+
+	"multiscalar/internal/interp"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/predict"
+)
+
+// Ext is the unit's view of the rest of the machine.
+type Ext interface {
+	// ReadReg reads an architectural register. ready=false means the
+	// register is reserved (an accum-mask reservation whose value has not
+	// arrived on the ring yet) — the consuming instruction must wait.
+	ReadReg(now uint64, r isa.Reg) (v interp.Value, ready bool)
+	// WriteReg updates the unit's register file at local retire.
+	WriteReg(r isa.Reg, v interp.Value)
+	// Forward routes a produced value to successor units (forward bit or
+	// release, Section 2.2). Values are sent once per register per task.
+	Forward(now uint64, r isa.Reg, v interp.Value)
+	// Load performs a (possibly speculative) load at execute time.
+	// ok=false means the operation must retry next cycle (ARB overflow).
+	Load(now uint64, op isa.Op, addr uint32) (v interp.Value, done uint64, ok bool)
+	// Store performs a speculative store at execute time.
+	Store(now uint64, op isa.Op, addr uint32, v interp.Value) (done uint64, ok bool)
+	// FetchDone returns the cycle at which the 4-word fetch group at
+	// groupAddr is available from the instruction cache.
+	FetchDone(now uint64, groupAddr uint32) uint64
+	// Syscall executes a system call at local retire. handled=false means
+	// the unit must stall the syscall (it is not the head yet). v0/writesV0
+	// carry the result register update.
+	Syscall(now uint64) (v0 uint32, writesV0 bool, handled bool, err error)
+}
+
+// SharedFUs is an optional extension of Ext: when the environment
+// implements it, the unit asks permission before starting an operation on
+// a shared functional-unit class. This models the alternative
+// microarchitecture of Section 2.3 in which expensive units (floating
+// point, complex integer) are shared between the processing units rather
+// than replicated.
+type SharedFUs interface {
+	ClaimSharedFU(now uint64, class isa.FUClass) bool
+}
+
+// Config selects the unit microarchitecture.
+type Config struct {
+	IssueWidth    int // 1 or 2
+	OutOfOrder    bool
+	ROBSize       int
+	FetchQSize    int
+	Latencies     isa.Latencies
+	BranchEntries int // bimodal predictor entries (power of two)
+}
+
+// DefaultConfig returns the paper's processing unit: selectable issue
+// width and ordering, 16-entry window, Table 1 latencies.
+func DefaultConfig(width int, outOfOrder bool) Config {
+	return Config{
+		IssueWidth:    width,
+		OutOfOrder:    outOfOrder,
+		ROBSize:       16,
+		FetchQSize:    8,
+		Latencies:     isa.Table1(),
+		BranchEntries: 2048,
+	}
+}
+
+type robState uint8
+
+const (
+	stDispatched robState = iota
+	stIssued
+	stDone
+)
+
+type robEntry struct {
+	addr  uint32
+	instr *isa.Instr
+	state robState
+
+	doneAt uint64 // cycle the result is available (valid in stIssued/stDone)
+	val    interp.Value
+	fcc    bool
+	setFCC bool
+
+	predictedNext uint32 // fetch-time prediction of the following PC
+	actualNext    uint32 // resolved at execute
+	taken         bool
+
+	stopHit bool // stop condition satisfied (task exit) — final at execute
+	memDone bool // memory operation has accessed the ARB/cache
+	fwded   bool // value already sent on the ring (operate-and-forward)
+}
+
+type fetchedInstr struct {
+	addr          uint32
+	instr         *isa.Instr
+	predictedNext uint32
+}
+
+// Activity classifies what a unit did in one cycle, for the Section 3
+// cycle-distribution accounting.
+type Activity uint8
+
+const (
+	ActIdle       Activity = iota // no task assigned
+	ActCompute                    // issued and/or retired work
+	ActWaitPred                   // blocked on a value from a predecessor task
+	ActWaitIntra                  // blocked on intra-task dependence / FU / cache
+	ActWaitRetire                 // task complete, waiting to reach the head
+	NumActivities
+)
+
+var activityNames = [NumActivities]string{"idle", "compute", "wait-pred", "wait-intra", "wait-retire"}
+
+func (a Activity) String() string { return activityNames[a] }
+
+// Unit is one processing unit.
+type Unit struct {
+	ID     int
+	cfg    Config
+	ext    Ext
+	shared SharedFUs // non-nil when the machine shares FP/complex units
+	bp     *predict.BranchPredictor
+
+	prog *isa.Program
+
+	active bool
+
+	// Fetch state.
+	pc           uint32
+	fetchStopped bool
+	fetchQ       []fetchedInstr
+	fetchReady   uint64 // icache availability for the current group
+	fetchGroup   uint32 // group address being fetched (^0 = none)
+
+	// Window.
+	rob []robEntry
+
+	committedFCC bool
+
+	// Task completion.
+	done      bool
+	exitPC    uint32
+	exitByRet bool
+
+	// Per-activation stats (folded into global stats by the owner at
+	// retire or squash).
+	Retired    uint64 // locally retired instructions this activation
+	ActCounts  [NumActivities]uint64
+	waitingExt bool // an issue was blocked on Ext.ReadReg this cycle
+	issuedNow  int
+	retiredNow int
+	startCycle uint64
+	lastAct    Activity
+}
+
+// LastActivity reports how the most recent Tick was classified (for
+// tracing).
+func (u *Unit) LastActivity() Activity { return u.lastAct }
+
+// New builds a unit over a program image.
+func New(id int, cfg Config, prog *isa.Program, ext Ext) *Unit {
+	if cfg.IssueWidth < 1 {
+		cfg.IssueWidth = 1
+	}
+	if cfg.ROBSize == 0 {
+		cfg.ROBSize = 16
+	}
+	if cfg.FetchQSize == 0 {
+		cfg.FetchQSize = 8
+	}
+	if cfg.BranchEntries == 0 {
+		cfg.BranchEntries = 2048
+	}
+	u := &Unit{
+		ID:   id,
+		cfg:  cfg,
+		ext:  ext,
+		bp:   predict.NewBranchPredictor(cfg.BranchEntries),
+		prog: prog,
+	}
+	if s, ok := ext.(SharedFUs); ok {
+		u.shared = s
+	}
+	return u
+}
+
+// BranchPredictor exposes the unit's branch predictor (persistent
+// hardware: it survives task reassignment).
+func (u *Unit) BranchPredictor() *predict.BranchPredictor { return u.bp }
+
+// Active reports whether a task is assigned.
+func (u *Unit) Active() bool { return u.active }
+
+// Done reports whether the assigned task has completed (all instructions
+// locally retired and the stop condition reached).
+func (u *Unit) Done() bool { return u.done }
+
+// ExitPC returns the address execution continues at after this task.
+func (u *Unit) ExitPC() uint32 { return u.exitPC }
+
+// ExitByReturn reports whether the task exited through a jr (return).
+func (u *Unit) ExitByReturn() bool { return u.exitByRet }
+
+// Start assigns a task (or, for the scalar machine, the program) starting
+// at entry.
+func (u *Unit) Start(entry uint32, now uint64) {
+	u.active = true
+	u.pc = entry
+	u.fetchStopped = false
+	u.fetchQ = u.fetchQ[:0]
+	u.fetchGroup = ^uint32(0)
+	u.fetchReady = 0
+	u.rob = u.rob[:0]
+	u.done = false
+	u.exitPC = 0
+	u.exitByRet = false
+	u.Retired = 0
+	u.ActCounts = [NumActivities]uint64{}
+	u.startCycle = now
+	u.committedFCC = false
+	u.bp.ClearRAS()
+}
+
+// Squash deactivates the unit, discarding all in-flight state.
+func (u *Unit) Squash() {
+	u.active = false
+	u.fetchQ = u.fetchQ[:0]
+	u.rob = u.rob[:0]
+	u.done = false
+}
+
+// Tick advances the unit by one cycle. It returns the number of
+// instructions locally retired this cycle and any fatal error.
+func (u *Unit) Tick(now uint64) (int, error) {
+	if !u.active {
+		u.ActCounts[ActIdle]++
+		u.lastAct = ActIdle
+		return 0, nil
+	}
+	u.waitingExt = false
+	u.issuedNow = 0
+	u.retiredNow = 0
+
+	u.complete(now)
+	u.forwardEarly(now)
+	if err := u.retire(now); err != nil {
+		return u.retiredNow, err
+	}
+	if err := u.issue(now); err != nil {
+		return u.retiredNow, err
+	}
+	u.dispatch(now)
+	u.fetch(now)
+
+	u.lastAct = u.classify()
+	u.ActCounts[u.lastAct]++
+	return u.retiredNow, nil
+}
+
+func (u *Unit) classify() Activity {
+	switch {
+	case u.issuedNow > 0 || u.retiredNow > 0:
+		return ActCompute
+	case u.done:
+		return ActWaitRetire
+	case u.waitingExt:
+		return ActWaitPred
+	default:
+		return ActWaitIntra
+	}
+}
+
+// complete transitions issued entries whose latency has elapsed to done,
+// handling branch resolution and local mis-speculation recovery.
+func (u *Unit) complete(now uint64) {
+	for i := 0; i < len(u.rob); i++ {
+		e := &u.rob[i]
+		if e.state != stIssued || e.doneAt > now {
+			continue
+		}
+		e.state = stDone
+		// Control resolution: flush younger work on a wrong path.
+		if e.instr.Op.IsControl() || e.stopResolvable() {
+			if e.actualNext != e.predictedNext {
+				u.flushAfter(i, e.actualNext, e.stopHit)
+			} else if e.stopHit && !u.fetchStopped {
+				// Predicted path continued past a satisfied stop
+				// condition (e.g. StopAlways known only at execute for a
+				// jr): cut fetch.
+				u.flushAfter(i, e.actualNext, true)
+			}
+		}
+	}
+}
+
+// stopResolvable reports whether this entry can end the task.
+func (e *robEntry) stopResolvable() bool { return e.instr.Stop != isa.StopNone }
+
+// forwardEarly implements the paper's operate-and-forward semantics: a
+// completed instruction with the forward bit (or a release) sends its
+// value on the ring as soon as it is locally non-speculative — every
+// older instruction that could redirect control or end the task has
+// resolved the same way the fetch predicted. Otherwise the forward
+// happens at local retire.
+func (u *Unit) forwardEarly(now uint64) {
+	safe := true
+	for i := 0; i < len(u.rob); i++ {
+		e := &u.rob[i]
+		if !safe {
+			return
+		}
+		if e.state == stDone && !e.fwded {
+			in := e.instr
+			switch {
+			case in.Op == isa.OpRelease:
+				u.ext.Forward(now, in.Rs, e.val)
+				e.fwded = true
+			case in.Fwd && in.Dest() != isa.RegZero:
+				u.ext.Forward(now, in.Dest(), e.val)
+				e.fwded = true
+			}
+		}
+		// Anything that can redirect or end the task blocks younger
+		// forwards until it resolves on the predicted path.
+		if in := e.instr; in.Op.IsControl() || in.Stop != isa.StopNone {
+			if e.state != stDone || e.stopHit || e.actualNext != e.predictedNext {
+				safe = false
+			}
+		}
+		if e.instr.Op == isa.OpSyscall && e.state != stDone {
+			safe = false
+		}
+	}
+}
+
+// flushAfter discards all entries younger than index i and redirects
+// fetch. If stopped, the task is complete at entry i and no further fetch
+// happens.
+func (u *Unit) flushAfter(i int, nextPC uint32, stopped bool) {
+	u.rob = u.rob[:i+1]
+	u.fetchQ = u.fetchQ[:0]
+	u.fetchGroup = ^uint32(0)
+	u.fetchStopped = stopped
+	if !stopped {
+		u.pc = nextPC
+	}
+}
+
+// retire commits done entries from the ROB head, in order, up to the
+// issue width.
+func (u *Unit) retire(now uint64) error {
+	n := 0
+	for n < u.cfg.IssueWidth && len(u.rob) > 0 {
+		e := &u.rob[0]
+		if e.state != stDone {
+			break
+		}
+		in := e.instr
+
+		if in.Op == isa.OpSyscall {
+			v0, writes, handled, err := u.ext.Syscall(now)
+			if err != nil {
+				return fmt.Errorf("pu%d @0x%x: %w", u.ID, e.addr, err)
+			}
+			if !handled {
+				break // not the head yet: syscalls are non-speculative
+			}
+			if writes {
+				u.ext.WriteReg(isa.RegV0, interp.IntVal(v0))
+			}
+		} else {
+			if d := in.Dest(); d != isa.RegZero {
+				u.ext.WriteReg(d, e.val)
+				if in.Fwd && !e.fwded {
+					u.ext.Forward(now, d, e.val)
+				}
+			}
+			if e.setFCC {
+				u.committedFCC = e.fcc
+			}
+			if in.Op == isa.OpRelease && !e.fwded {
+				u.ext.Forward(now, in.Rs, e.val)
+			}
+		}
+
+		u.Retired++
+		u.retiredNow++
+		n++
+		stop := e.stopHit
+		exitPC := e.actualNext
+		byRet := in.Op == isa.OpJr
+		u.rob = u.rob[1:]
+		if stop {
+			u.done = true
+			u.exitPC = exitPC
+			u.exitByRet = byRet
+			u.rob = u.rob[:0]
+			u.fetchQ = u.fetchQ[:0]
+			u.fetchStopped = true
+			break
+		}
+	}
+	return nil
+}

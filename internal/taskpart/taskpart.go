@@ -1,0 +1,559 @@
+// Package taskpart is the automatic task partitioner: the compiler half of
+// the multiscalar toolchain (Section 2.2 of the paper). Given an assembled
+// program with no task annotations, it
+//
+//   - chooses task boundaries (natural-loop iterations, function bodies,
+//     call continuations — the granularities the paper's examples use),
+//   - builds task descriptors with conservative create masks trimmed by
+//     dead-register analysis,
+//   - sets forward bits on last updaters (no later write possible on any
+//     path within the task), and
+//   - sets stop bits on task exit edges.
+//
+// It does not insert release instructions (that would require re-laying
+// out the text); registers in the create mask that a dynamic execution
+// never forwards are released by the completion flush when the task's
+// stop instruction retires — the paper's baseline "wait until no further
+// updates are possible" strategy. Hand-written workloads place early
+// releases themselves, exactly as Figure 4 of the paper does, and the
+// difference is measurable (see the release ablation benchmark).
+package taskpart
+
+import (
+	"fmt"
+	"sort"
+
+	"multiscalar/internal/cfg"
+	"multiscalar/internal/isa"
+)
+
+// Options control partitioning.
+type Options struct {
+	// SuppressFuncs lists function entry symbols whose calls should be
+	// absorbed into the calling task (the paper's "suppressed functions",
+	// Section 3.2.3) instead of becoming tasks of their own.
+	SuppressFuncs []string
+	// SuppressAllCalls absorbs every call.
+	SuppressAllCalls bool
+	// KeepLoopTasks==false disables loop-header task entries (only useful
+	// for ablation).
+	NoLoopTasks bool
+}
+
+// TaskInfo describes one produced task.
+type TaskInfo struct {
+	Desc   *isa.TaskDescriptor
+	Blocks []*cfg.Block // region blocks (may be shared with other tasks)
+}
+
+// Partition is the result of partitioning.
+type Partition struct {
+	Graph *cfg.Graph
+	Tasks []*TaskInfo
+}
+
+// Run partitions prog in place: it fills prog.Tasks and sets tag bits on
+// prog.Text. prog must not already carry task annotations.
+func Run(prog *isa.Program, opt Options) (*Partition, error) {
+	if len(prog.Tasks) != 0 {
+		return nil, fmt.Errorf("taskpart: program already has task descriptors")
+	}
+	g := cfg.Build(prog)
+	g.Analyze()
+
+	suppressed := map[uint32]bool{}
+	for _, name := range opt.SuppressFuncs {
+		addr, ok := prog.Symbol(name)
+		if !ok {
+			return nil, fmt.Errorf("taskpart: suppressed function %q undefined", name)
+		}
+		suppressed[addr] = true
+	}
+
+	p := &partitioner{prog: prog, g: g, opt: opt, suppressed: suppressed}
+	if err := p.chooseEntries(); err != nil {
+		return nil, err
+	}
+	// Task entries must be block leaders; they are, because entries are
+	// either loop headers, call targets, post-call continuations, or the
+	// program entry — all block starts.
+	//
+	// A task with more exits than a descriptor can name (isa.
+	// MaxTaskTargets) is split: its internal join blocks are promoted to
+	// task entries and the partition is recomputed. Each round promotes
+	// at least one block, so this terminates.
+	var tasks []*TaskInfo
+	for round := 0; ; round++ {
+		p.resetTags()
+		if err := p.markStops(); err != nil {
+			return nil, err
+		}
+		var fat *TaskInfo
+		var err error
+		tasks, fat, err = p.buildTasks()
+		if err != nil {
+			return nil, err
+		}
+		if fat == nil {
+			break
+		}
+		if round > len(g.Blocks) {
+			return nil, fmt.Errorf("taskpart: task splitting did not converge")
+		}
+		if !p.splitRegion(fat) {
+			return nil, fmt.Errorf("taskpart: task %s has %d exit targets (max %d) and no join block to split at; restructure the code",
+				fat.Desc.Name, len(fat.Desc.Targets), isa.MaxTaskTargets)
+		}
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return &Partition{Graph: g, Tasks: tasks}, nil
+}
+
+// resetTags clears tag bits and descriptors before a (re)partitioning
+// round.
+func (p *partitioner) resetTags() {
+	for i := range p.prog.Text {
+		p.prog.Text[i].Fwd = false
+		p.prog.Text[i].Stop = isa.StopNone
+	}
+	p.prog.Tasks = make(map[uint32]*isa.TaskDescriptor)
+}
+
+// splitRegion promotes internal join blocks (several predecessors) of an
+// oversized task to entries of their own; failing that, the successor of
+// the region's first internal control split. Returns false if nothing
+// could be promoted.
+func (p *partitioner) splitRegion(fat *TaskInfo) bool {
+	promoted := false
+	for _, b := range fat.Blocks {
+		if b.Start == fat.Desc.Entry || p.entries[b.Start] {
+			continue
+		}
+		if len(b.Preds) >= 2 {
+			p.entries[b.Start] = true
+			promoted = true
+		}
+	}
+	if promoted {
+		return true
+	}
+	// No joins: promote the first internal successor block.
+	for _, b := range fat.Blocks {
+		for _, s := range b.Succs {
+			if s.Start != fat.Desc.Entry && !p.entries[s.Start] {
+				p.entries[s.Start] = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type partitioner struct {
+	prog       *isa.Program
+	g          *cfg.Graph
+	opt        Options
+	suppressed map[uint32]bool
+	entries    map[uint32]bool // task entry addresses
+}
+
+// isTaskFunc reports whether a call target becomes its own task.
+func (p *partitioner) isTaskFunc(addr uint32) bool {
+	if p.opt.SuppressAllCalls {
+		return false
+	}
+	return !p.suppressed[addr]
+}
+
+// suppressedBlocks returns the set of blocks belonging to suppressed
+// functions (they never receive task entries of their own).
+func (p *partitioner) suppressedBlocks() map[*cfg.Block]bool {
+	out := map[*cfg.Block]bool{}
+	var walk func(b *cfg.Block)
+	walk = func(b *cfg.Block) {
+		if b == nil || out[b] {
+			return
+		}
+		out[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+		if b.CallTarget != 0 && !p.isTaskFunc(b.CallTarget) {
+			walk(p.g.ByAddr[b.CallTarget])
+		}
+	}
+	for addr := range p.suppressed {
+		walk(p.g.ByAddr[addr])
+	}
+	if p.opt.SuppressAllCalls {
+		for _, b := range p.g.Blocks {
+			if b.CallTarget != 0 {
+				walk(p.g.ByAddr[b.CallTarget])
+			}
+		}
+	}
+	return out
+}
+
+func (p *partitioner) chooseEntries() error {
+	p.entries = map[uint32]bool{p.prog.Entry: true}
+	inSuppressed := p.suppressedBlocks()
+
+	if !p.opt.NoLoopTasks {
+		for _, l := range p.g.Loops {
+			if inSuppressed[l.Header] {
+				continue
+			}
+			p.entries[l.Header.Start] = true
+			// Loop exits become entries so the post-loop code is a task.
+			for b := range l.Blocks {
+				for _, s := range b.Succs {
+					if !l.Blocks[s] && !inSuppressed[s] {
+						p.entries[s.Start] = true
+					}
+				}
+			}
+		}
+	}
+	for _, b := range p.g.Blocks {
+		if inSuppressed[b] {
+			continue
+		}
+		if b.CallTarget != 0 && p.isTaskFunc(b.CallTarget) {
+			p.entries[b.CallTarget] = true // function body task
+			p.entries[b.End] = true        // continuation task
+		}
+	}
+	return nil
+}
+
+// markStops sets stop bits on every edge that leaves a task region: edges
+// into task entries, returns, and calls to task functions.
+func (p *partitioner) markStops() error {
+	// Suppressed callee bodies execute inside their caller's task and must
+	// not carry stop bits: in particular their jr returns control within
+	// the task rather than ending it.
+	shared := p.suppressedBlocks()
+	for _, b := range p.g.Blocks {
+		if shared[b] {
+			continue
+		}
+		lastAddr := b.End - isa.InstrSize
+		last := p.prog.InstrAt(lastAddr)
+		isEntry := func(bb *cfg.Block) bool { return p.entries[bb.Start] }
+		switch {
+		case last.Op.IsBranch():
+			tkn := p.g.ByAddr[last.Target]
+			ft := p.g.ByAddr[b.End]
+			tknExit := tkn != nil && isEntry(tkn)
+			ftExit := ft != nil && isEntry(ft)
+			switch {
+			case tknExit && ftExit:
+				last.Stop = isa.StopAlways
+			case tknExit:
+				last.Stop = isa.StopTaken
+			case ftExit:
+				last.Stop = isa.StopNotTaken
+			}
+		case last.Op == isa.OpJ:
+			if t := p.g.ByAddr[last.Target]; t != nil && isEntry(t) {
+				last.Stop = isa.StopAlways
+			}
+		case last.Op == isa.OpJal:
+			if p.isTaskFunc(last.Target) {
+				last.Stop = isa.StopAlways
+			}
+		case last.Op == isa.OpJalr:
+			if !p.opt.SuppressAllCalls {
+				return fmt.Errorf("taskpart: indirect call at 0x%x requires SuppressAllCalls", lastAddr)
+			}
+		case last.Op == isa.OpJr:
+			last.Stop = isa.StopAlways
+		default:
+			if t := p.g.ByAddr[b.End]; t != nil && isEntry(t) {
+				last.Stop = isa.StopAlways
+			}
+		}
+	}
+	return nil
+}
+
+// region computes the blocks of the task entered at entry: blocks
+// reachable without crossing into another task entry, including the
+// bodies of suppressed callees.
+func (p *partitioner) region(entry uint32) []*cfg.Block {
+	start := p.g.ByAddr[entry]
+	if start == nil {
+		return nil
+	}
+	seen := map[*cfg.Block]bool{}
+	var out []*cfg.Block
+	var stack []*cfg.Block
+	push := func(b *cfg.Block) {
+		if b != nil && !seen[b] {
+			seen[b] = true
+			stack = append(stack, b)
+		}
+	}
+	push(start)
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, b)
+		// A call to a suppressed function pulls the callee body in.
+		if b.CallTarget != 0 && !p.isTaskFunc(b.CallTarget) {
+			push(p.g.ByAddr[b.CallTarget])
+		}
+		// A call to a task function ends the task here.
+		if b.CallTarget != 0 && p.isTaskFunc(b.CallTarget) {
+			continue
+		}
+		if b.Returns {
+			continue
+		}
+		for _, s := range b.Succs {
+			if !p.entries[s.Start] {
+				push(s)
+			}
+		}
+	}
+	return out
+}
+
+// buildTasks creates descriptors, computes create masks, sets forward
+// bits, and validates target counts. A task with too many exit targets is
+// returned as `fat` for the caller to split.
+func (p *partitioner) buildTasks() ([]*TaskInfo, *TaskInfo, error) {
+	entryList := make([]uint32, 0, len(p.entries))
+	for e := range p.entries {
+		entryList = append(entryList, e)
+	}
+	sort.Slice(entryList, func(i, j int) bool { return entryList[i] < entryList[j] })
+
+	var tasks []*TaskInfo
+	for _, entry := range entryList {
+		blocks := p.region(entry)
+		if blocks == nil {
+			continue
+		}
+		td := &isa.TaskDescriptor{
+			Name:  fmt.Sprintf("t_%x", entry),
+			Entry: entry,
+		}
+		if name := p.symbolFor(entry); name != "" {
+			td.Name = name
+		}
+
+		// Exit targets and PushRA.
+		targets := map[uint32]bool{}
+		liveOut := isa.RegMask(0)
+		for _, b := range blocks {
+			lastAddr := b.End - isa.InstrSize
+			last := p.prog.InstrAt(lastAddr)
+			addTarget := func(addr uint32) {
+				targets[addr] = true
+				if t := p.g.ByAddr[addr]; t != nil {
+					liveOut = liveOut.Union(t.LiveIn)
+				}
+			}
+			switch last.Stop {
+			case isa.StopAlways:
+				switch {
+				case last.Op.IsBranch():
+					addTarget(last.Target)
+					addTarget(b.End)
+				case last.Op == isa.OpJ:
+					addTarget(last.Target)
+				case last.Op == isa.OpJal:
+					addTarget(last.Target)
+					cont := b.End
+					if td.PushRA != 0 && td.PushRA != cont {
+						return nil, nil, fmt.Errorf("taskpart: task %s has multiple call continuations", td.Name)
+					}
+					td.PushRA = cont
+					td.CallTarget = last.Target
+					// Values the caller holds across the call are live
+					// outside this task even though the callee never reads
+					// them: the call block's live-out is the set live after
+					// the return.
+					liveOut = liveOut.Union(b.LiveOut)
+				case last.Op == isa.OpJr:
+					targets[isa.TargetReturn] = true
+					// Live at return: the ABI set plus anything any caller
+					// of this function holds live across its call sites.
+					liveOut = liveOut.Union(cfg.LiveAtReturn)
+					liveOut = liveOut.Union(p.retLiveOut(entry))
+				default:
+					addTarget(b.End)
+				}
+			case isa.StopTaken:
+				addTarget(last.Target)
+			case isa.StopNotTaken:
+				addTarget(b.End)
+			}
+		}
+		for t := range targets {
+			td.Targets = append(td.Targets, t)
+		}
+		sort.Slice(td.Targets, func(i, j int) bool { return td.Targets[i] < td.Targets[j] })
+		if len(td.Targets) > isa.MaxTaskTargets {
+			return tasks, &TaskInfo{Desc: td, Blocks: blocks}, nil
+		}
+
+		// Create mask: registers the region may write, trimmed to those
+		// live into some exit.
+		var def isa.RegMask
+		for _, b := range blocks {
+			def = def.Union(b.Def)
+		}
+		td.Create = def.Intersect(liveOut)
+
+		p.setForwardBits(td, blocks)
+
+		p.prog.Tasks[entry] = td
+		tasks = append(tasks, &TaskInfo{Desc: td, Blocks: blocks})
+	}
+	return tasks, nil, nil
+}
+
+// retLiveOut returns the registers live after any call site that can
+// reach the function task entered at `entry` — the union of the live-out
+// sets of every block calling a function whose body contains this task.
+// Conservative: called from anywhere means live-out of every call block.
+func (p *partitioner) retLiveOut(entry uint32) isa.RegMask {
+	var m isa.RegMask
+	for _, b := range p.g.Blocks {
+		if b.CallTarget != 0 && p.isTaskFunc(b.CallTarget) {
+			m = m.Union(b.LiveOut)
+		}
+	}
+	return m
+}
+
+func (p *partitioner) symbolFor(addr uint32) string {
+	best := ""
+	for name, a := range p.prog.Symbols {
+		if a == addr && (best == "" || name < best) {
+			best = name
+		}
+	}
+	return best
+}
+
+// setForwardBits marks, for each register in the create mask, every write
+// after which no further write of that register is possible on any path
+// within the task. Writes inside suppressed callee bodies are left
+// unmarked (the completion flush covers them), because a callee shared by
+// several tasks cannot carry per-task forward bits.
+func (p *partitioner) setForwardBits(td *isa.TaskDescriptor, blocks []*cfg.Block) {
+	inRegion := map[*cfg.Block]bool{}
+	for _, b := range blocks {
+		inRegion[b] = true
+	}
+	// Blocks belonging to suppressed callee bodies: reachable via call
+	// edges from region call sites. Approximate: a block is "shared" if it
+	// is part of any suppressed function body.
+	shared := p.suppressedBlocks()
+
+	// mwIn[b]: registers that may be written at or after the start of b
+	// within the task. Fixpoint over internal edges.
+	mwIn := map[*cfg.Block]isa.RegMask{}
+	mwOut := func(b *cfg.Block) isa.RegMask {
+		var m isa.RegMask
+		if b.CallTarget != 0 && p.isTaskFunc(b.CallTarget) {
+			return 0 // task ends at the call
+		}
+		if b.Returns {
+			return 0
+		}
+		// A call to a suppressed function returns to the fall-through,
+		// which is a normal successor edge already.
+		for _, s := range b.Succs {
+			if inRegion[s] && !p.entries[s.Start] {
+				m = m.Union(mwIn[s])
+			}
+		}
+		// Block ending in a suppressed call: the callee may write more
+		// after this block's instructions, before the fall-through — the
+		// callee writes are accounted in the jal instruction's defs below,
+		// so nothing extra is needed here.
+		return m
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(blocks) - 1; i >= 0; i-- {
+			b := blocks[i]
+			var defs isa.RegMask
+			for a := b.Start; a < b.End; a += isa.InstrSize {
+				d, _ := p.instrDefs(p.prog.InstrAt(a))
+				defs = defs.Union(d)
+			}
+			in := defs.Union(mwOut(b))
+			if in != mwIn[b] {
+				mwIn[b] = in
+				changed = true
+			}
+		}
+	}
+
+	for _, b := range blocks {
+		if shared[b] {
+			continue
+		}
+		// Walk forward computing "may be written later" per instruction.
+		// Collect per-instruction defs first.
+		n := b.NumInstrs()
+		defs := make([]isa.RegMask, n)
+		for i := 0; i < n; i++ {
+			a := b.Start + uint32(i)*isa.InstrSize
+			d, _ := p.instrDefs(p.prog.InstrAt(a))
+			defs[i] = d
+		}
+		later := make([]isa.RegMask, n) // may be written strictly after instr i
+		tail := mwOut(b)
+		for i := n - 1; i >= 0; i-- {
+			later[i] = tail
+			tail = tail.Union(defs[i])
+		}
+		for i := 0; i < n; i++ {
+			a := b.Start + uint32(i)*isa.InstrSize
+			in := p.prog.InstrAt(a)
+			d := in.Dest()
+			// Calls never carry forward bits: a suppressed callee may
+			// clobber registers after the call instruction itself, and a
+			// task call ends the task anyway (completion flush covers $ra).
+			if d == isa.RegZero || in.Op == isa.OpJal || in.Op == isa.OpJalr {
+				continue
+			}
+			if td.Create.Has(d) && !later[i].Has(d) {
+				in.Fwd = true
+			}
+		}
+	}
+}
+
+// instrDefs returns the registers an instruction may define, including
+// suppressed-callee effects at call sites.
+func (p *partitioner) instrDefs(in *isa.Instr) (isa.RegMask, isa.RegMask) {
+	switch in.Op {
+	case isa.OpJal:
+		var d isa.RegMask
+		d = d.Set(in.Rd)
+		if !p.isTaskFunc(in.Target) {
+			if fs := p.g.Funcs[in.Target]; fs != nil {
+				d = d.Union(fs.Defs)
+			}
+		}
+		return d, 0
+	case isa.OpJalr:
+		return cfg.AllRegs, 0
+	default:
+		var d isa.RegMask
+		if dest := in.Dest(); dest != isa.RegZero {
+			d = d.Set(dest)
+		}
+		return d, 0
+	}
+}

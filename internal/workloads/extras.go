@@ -1,0 +1,191 @@
+package workloads
+
+import "strings"
+
+// Extra workloads beyond the paper's suite: conventional kernels that
+// exercise the same machinery and give library users more substrates to
+// experiment with. They are excluded from the paper-table harness
+// (Workload.Extra) but run in the full test matrix.
+
+func init() {
+	register(&Workload{
+		Name:         "matmul",
+		Description:  "integer matrix multiply, one result row per task (extra)",
+		Extra:        true,
+		DefaultScale: 24, // matrix dimension
+		TestScale:    10,
+		Source:       matmulSource,
+		Paper:        extraPaperRow,
+	})
+	register(&Workload{
+		Name:         "sieve",
+		Description:  "sieve of Eratosthenes, one prime's clearing pass per task (extra)",
+		Extra:        true,
+		DefaultScale: 2000, // sieve size
+		TestScale:    300,
+		Source:       sieveSource,
+		Paper:        extraPaperRow,
+	})
+}
+
+// extraPaperRow marks reference numbers as not-applicable (non-zero so
+// the presence checks pass, but flagged by Extra).
+var extraPaperRow = PaperRow{
+	ScalarM: -1, MultiM: -1, PctIncrease: -1,
+	InOrder1: PaperPerf{ScalarIPC: -1, Speedup4: -1, Speedup8: -1},
+	InOrder2: PaperPerf{ScalarIPC: -1, Speedup4: -1, Speedup8: -1},
+	OOO1:     PaperPerf{ScalarIPC: -1, Speedup4: -1, Speedup8: -1},
+	OOO2:     PaperPerf{ScalarIPC: -1, Speedup4: -1, Speedup8: -1},
+}
+
+func matmulSource(scale int) string {
+	n := scale
+	var sb strings.Builder
+	sb.WriteString("\t.data\n")
+	sb.WriteString("ma:\t.space " + itoa(4*n*n) + "\n")
+	sb.WriteString("mpad1:\t.space 192\n")
+	sb.WriteString("mb:\t.space " + itoa(4*n*n) + "\n")
+	sb.WriteString("mpad2:\t.space 192\n")
+	sb.WriteString("mc:\t.space " + itoa(4*n*n) + "\n")
+	sb.WriteString(`
+	.text
+main:
+	; init: a[i][j] = i+j, b[i][j] = i-j (single init task per row)
+	li   $s0, 0
+`)
+	sb.WriteString("\tli   $s5, " + itoa(n) + "\n")
+	sb.WriteString("\tli   $s6, " + itoa(4*n) + "\n")
+	sb.WriteString(`	j    MIROW !s
+MIROW:
+	move $t9, $s0
+	.msonly addi $s0, $s0, 1 !f
+	.msonly slt  $at, $s0, $s5
+	mul  $t0, $t9, $s6       ; row base
+	li   $t1, 0
+MICOL:
+	add  $t2, $t9, $t1
+	sll  $t3, $t1, 2
+	add  $t3, $t3, $t0
+	sw   $t2, ma($t3)
+	sub  $t2, $t9, $t1
+	sw   $t2, mb($t3)
+	addi $t1, $t1, 1
+	bne  $t1, $s5, MICOL
+	.msonly bnez $at, MIROW !s
+	.sconly addi $s0, $s0, 1
+	.sconly bne  $s0, $s5, MIROW
+
+MSETUP:
+	li   $s0, 0
+	j    MROW !s
+
+	; c[i] = a[i] * b : one result row per task
+MROW:
+	move $t9, $s0
+	.msonly addi $s0, $s0, 1 !f
+	.msonly slt  $at, $s0, $s5
+	mul  $t0, $t9, $s6       ; a row base / c row base
+	li   $t1, 0              ; j
+MCOL:
+	li   $t2, 0              ; k
+	li   $t3, 0              ; acc
+MDOT:
+	sll  $t4, $t2, 2
+	add  $t4, $t4, $t0
+	lw   $t5, ma($t4)        ; a[i][k]
+	mul  $t6, $t2, $s6
+	sll  $t7, $t1, 2
+	add  $t6, $t6, $t7
+	lw   $t7, mb($t6)        ; b[k][j]
+	mul  $t5, $t5, $t7
+	add  $t3, $t3, $t5
+	addi $t2, $t2, 1
+	bne  $t2, $s5, MDOT
+	sll  $t4, $t1, 2
+	add  $t4, $t4, $t0
+	sw   $t3, mc($t4)
+	addi $t1, $t1, 1
+	bne  $t1, $s5, MCOL
+	.msonly bnez $at, MROW !s
+	.sconly addi $s0, $s0, 1
+	.sconly bne  $s0, $s5, MROW
+
+MDONE:
+	; checksum the diagonal
+	li   $t0, 0
+	li   $s1, 0
+MCHK:
+	mul  $t1, $t0, $s6
+	sll  $t2, $t0, 2
+	add  $t1, $t1, $t2
+	lw   $t2, mc($t1)
+	add  $s1, $s1, $t2
+	addi $t0, $t0, 1
+	bne  $t0, $s5, MCHK
+	move $a0, $s1
+` + printInt + exitSeq + `
+	.task main targets=MIROW create=$s0,$s5,$s6
+	.task MIROW targets=MIROW,MSETUP create=$s0
+	.task MSETUP targets=MROW create=$s0
+	.task MROW targets=MROW,MDONE create=$s0
+	.task MDONE
+`)
+	return sb.String()
+}
+
+func sieveSource(scale int) string {
+	n := scale
+	var sb strings.Builder
+	sb.WriteString("\t.data\n")
+	sb.WriteString("flags:\t.space " + itoa(n) + "\n")
+	sb.WriteString(`
+	.text
+main:
+	li   $s0, 2              ; candidate
+`)
+	sb.WriteString("\tli   $s5, " + itoa(n) + "\n")
+	sb.WriteString(`	j    CAND !s
+
+	; one candidate per task: if still prime, clear its multiples — the
+	; clearing loops have wildly different lengths (load imbalance), and
+	; a task may read a flag a predecessor is still clearing (squashes)
+CAND:
+	move $t9, $s0
+	.msonly addi $s0, $s0, 1 !f
+	.msonly mul  $t8, $s0, $s0
+	.msonly slt  $t8, $t8, $s5
+	lbu  $t0, flags($t9)
+	bnez $t0, CNEXT          ; composite already
+	add  $t1, $t9, $t9       ; first multiple: 2p
+	li   $t2, 1
+CLEAR:
+	slt  $at, $t1, $s5
+	beqz $at, CNEXT
+	sb   $t2, flags($t1)
+	add  $t1, $t1, $t9
+	j    CLEAR
+CNEXT:
+	.sconly addi $s0, $s0, 1
+	.sconly mul  $t8, $s0, $s0
+	.sconly slt  $t8, $t8, $s5
+	bnez $t8, CAND !s
+
+COUNT:
+	; count primes up to n
+	li   $t0, 2
+	li   $s1, 0
+CLOOP:
+	lbu  $t1, flags($t0)
+	bnez $t1, CSKIP
+	addi $s1, $s1, 1
+CSKIP:
+	addi $t0, $t0, 1
+	bne  $t0, $s5, CLOOP
+	move $a0, $s1
+` + printInt + exitSeq + `
+	.task main targets=CAND create=$s0,$s5
+	.task CAND targets=CAND,COUNT create=$s0
+	.task COUNT
+`)
+	return sb.String()
+}

@@ -1,0 +1,173 @@
+// Package multiscalar is a from-scratch reproduction of the system in
+// "Multiscalar Processors" (G. S. Sohi, S. E. Breach, T. N. Vijaykumar,
+// ISCA 1995): a cycle-level simulator for the multiscalar execution
+// paradigm together with its software toolchain.
+//
+// The package is a facade over the internal packages:
+//
+//   - Assemble turns annotated assembly (task descriptors, forward/stop
+//     bits, release instructions — Section 2.2 of the paper) into a
+//     Program; one source builds both the scalar and multiscalar binary.
+//   - Partition runs the automatic task partitioner (the compiler half of
+//     the toolchain) over an un-annotated program.
+//   - Interpret executes a Program functionally (the correctness oracle).
+//   - RunScalar simulates the scalar baseline processor cycle by cycle.
+//   - RunMultiscalar simulates a multiscalar processor: N processing
+//     units on a circular queue, sequencer with two-level task prediction
+//     and a return address stack, register forwarding ring, Address
+//     Resolution Buffer, banked data caches, shared memory bus.
+//   - Workload/Workloads expose the paper's benchmark suite (Section 5.2
+//     rewritten for this ISA).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of Tables 2-4.
+package multiscalar
+
+import (
+	"fmt"
+	"io"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/core"
+	"multiscalar/internal/interp"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/taskpart"
+	"multiscalar/internal/workloads"
+)
+
+// Program is an assembled binary image: text, data, task descriptors.
+type Program = isa.Program
+
+// TaskDescriptor describes one task (entry, create mask, targets).
+type TaskDescriptor = isa.TaskDescriptor
+
+// Config selects a machine configuration (units, issue width and order,
+// caches, ARB, ring, predictor). Zero values are not useful — start from
+// DefaultConfig or ScalarConfig.
+type Config = core.Config
+
+// Result summarizes a timing simulation.
+type Result = core.Result
+
+// Workload is one benchmark from the paper's suite.
+type Workload = workloads.Workload
+
+// Mode selects which binary an annotated source produces.
+type Mode = asm.Mode
+
+// Build modes.
+const (
+	ModeScalar      = asm.ModeScalar
+	ModeMultiscalar = asm.ModeMultiscalar
+)
+
+// PartitionOptions controls the automatic task partitioner.
+type PartitionOptions = taskpart.Options
+
+// Assemble builds a program from annotated assembly source.
+func Assemble(src string, mode Mode) (*Program, error) {
+	return asm.Assemble(src, mode)
+}
+
+// Partition runs the automatic task partitioner over a program that has
+// no hand annotations, filling in task descriptors and tag bits.
+func Partition(p *Program, opt PartitionOptions) error {
+	_, err := taskpart.Run(p, opt)
+	return err
+}
+
+// InterpResult is the outcome of a functional execution.
+type InterpResult struct {
+	Out          string
+	ExitCode     int32
+	Instructions uint64
+}
+
+// Interpret runs a program on the functional simulator (the oracle all
+// timing runs are validated against). maxInstrs bounds runaway programs.
+func Interpret(p *Program, maxInstrs uint64) (*InterpResult, error) {
+	env := interp.NewSysEnv()
+	m := interp.NewMachine(p, env)
+	if err := m.Run(maxInstrs); err != nil {
+		return nil, err
+	}
+	return &InterpResult{
+		Out:          env.Out.String(),
+		ExitCode:     env.ExitCode,
+		Instructions: m.ICount,
+	}, nil
+}
+
+// DefaultConfig returns the paper's multiscalar configuration
+// (Section 5.1) for a unit count, issue width (1 or 2) and issue order.
+func DefaultConfig(units, width int, outOfOrder bool) Config {
+	return core.DefaultConfig(units, width, outOfOrder)
+}
+
+// ScalarConfig returns the scalar baseline configuration: one identical
+// processing unit with 1-cycle data-cache hits.
+func ScalarConfig(width int, outOfOrder bool) Config {
+	return core.ScalarConfig(width, outOfOrder)
+}
+
+// RunScalar simulates a scalar-mode binary on the baseline processor.
+func RunScalar(p *Program, cfg Config) (*Result, error) {
+	env := interp.NewSysEnv()
+	s := core.NewScalar(p, env, cfg)
+	return s.Run()
+}
+
+// RunMultiscalar simulates a multiscalar binary (it must carry task
+// descriptors) on a multiscalar processor.
+func RunMultiscalar(p *Program, cfg Config) (*Result, error) {
+	env := interp.NewSysEnv()
+	m, err := core.NewMultiscalar(p, env, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// Verify runs a program on the oracle and the given machine configuration
+// and checks architectural equivalence: identical output and, for the
+// timing run, a committed instruction count equal to the oracle's dynamic
+// instruction count. It returns the timing result.
+func Verify(p *Program, cfg Config) (*Result, error) {
+	oracle, err := Interpret(p, 1<<40)
+	if err != nil {
+		return nil, err
+	}
+	var res *Result
+	if cfg.NumUnits <= 1 {
+		res, err = RunScalar(p, cfg)
+	} else {
+		res, err = RunMultiscalar(p, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if res.Out != oracle.Out {
+		return nil, fmt.Errorf("multiscalar: output diverged from oracle: %q vs %q", res.Out, oracle.Out)
+	}
+	if res.Committed != oracle.Instructions {
+		return nil, fmt.Errorf("multiscalar: committed %d instructions, oracle executed %d",
+			res.Committed, oracle.Instructions)
+	}
+	return res, nil
+}
+
+// SaveProgram writes a program as a binary container (.msb): text in the
+// wire encoding, data, task descriptors, and symbols.
+func SaveProgram(w io.Writer, p *Program) error { return isa.WriteProgram(w, p) }
+
+// LoadProgram reads a binary container written by SaveProgram.
+func LoadProgram(r io.Reader) (*Program, error) { return isa.ReadProgram(r) }
+
+// GetWorkload returns a benchmark by name (nil if unknown).
+func GetWorkload(name string) *Workload { return workloads.Get(name) }
+
+// Workloads returns the benchmark suite in the paper's table order.
+func Workloads() []*Workload { return workloads.All() }
+
+// WorkloadNames lists the benchmark names in table order.
+func WorkloadNames() []string { return workloads.Names() }

@@ -1,0 +1,186 @@
+package multiscalar_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"multiscalar"
+)
+
+const apiDemo = `
+main:
+	li $s0, 50
+	li $s1, 0
+	j  loop !s
+loop:
+	add  $s1, $s1, $s0 !f
+	addi $s0, $s0, -1 !f
+	bnez $s0, loop !s
+done:
+	move $a0, $s1
+	li $v0, 1
+	syscall
+	li $v0, 10
+	li $a0, 0
+	syscall
+	.task main targets=loop create=$s0,$s1
+	.task loop targets=loop,done create=$s0,$s1
+	.task done
+`
+
+func TestFacadeAssembleAndInterpret(t *testing.T) {
+	prog, err := multiscalar.Assemble(apiDemo, multiscalar.ModeMultiscalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := multiscalar.Interpret(prog, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out != "1275" {
+		t.Errorf("out = %q", res.Out)
+	}
+	if res.ExitCode != 0 || res.Instructions == 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestFacadeVerifyScalar(t *testing.T) {
+	prog, err := multiscalar.Assemble(apiDemo, multiscalar.ModeScalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range []int{1, 2} {
+		res, err := multiscalar.Verify(prog, multiscalar.ScalarConfig(width, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Out != "1275" {
+			t.Errorf("width=%d out = %q", width, res.Out)
+		}
+	}
+}
+
+func TestFacadeVerifyMultiscalar(t *testing.T) {
+	prog, err := multiscalar.Assemble(apiDemo, multiscalar.ModeMultiscalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, units := range []int{2, 4, 8, 16} {
+		res, err := multiscalar.Verify(prog, multiscalar.DefaultConfig(units, 1, false))
+		if err != nil {
+			t.Fatalf("units=%d: %v", units, err)
+		}
+		if res.TasksRetired < 50 {
+			t.Errorf("units=%d tasks = %d", units, res.TasksRetired)
+		}
+	}
+}
+
+func TestFacadeRejectsUnannotated(t *testing.T) {
+	prog, err := multiscalar.Assemble(apiDemo, multiscalar.ModeScalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := multiscalar.RunMultiscalar(prog, multiscalar.DefaultConfig(4, 1, false)); err == nil {
+		t.Error("multiscalar run of a scalar binary should fail")
+	}
+}
+
+func TestFacadePartition(t *testing.T) {
+	src := `
+main:
+	li $t0, 20
+	li $s1, 0
+loop:
+	add $s1, $s1, $t0
+	addi $t0, $t0, -1
+	bnez $t0, loop
+	move $a0, $s1
+	li $v0, 1
+	syscall
+	li $v0, 10
+	li $a0, 0
+	syscall
+`
+	prog, err := multiscalar.Assemble(src, multiscalar.ModeMultiscalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := multiscalar.Partition(prog, multiscalar.PartitionOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Tasks) < 2 {
+		t.Fatalf("tasks = %d", len(prog.Tasks))
+	}
+	res, err := multiscalar.Verify(prog, multiscalar.DefaultConfig(4, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out != "210" {
+		t.Errorf("out = %q", res.Out)
+	}
+}
+
+func TestFacadeWorkloadRegistry(t *testing.T) {
+	names := multiscalar.WorkloadNames()
+	if len(names) != 12 { // 10 paper benchmarks + 2 extras
+		t.Fatalf("names = %v", names)
+	}
+	if names[9] != "example" {
+		t.Errorf("table order broken: %v", names)
+	}
+	w := multiscalar.GetWorkload("example")
+	if w == nil || !strings.Contains(w.Description, "linked-list") {
+		t.Fatalf("example workload = %+v", w)
+	}
+	if multiscalar.GetWorkload("nope") != nil {
+		t.Error("unknown workload should be nil")
+	}
+	if len(multiscalar.Workloads()) != 10 {
+		t.Error("Workloads() should return the paper suite only")
+	}
+}
+
+func TestFacadeConfigDefaults(t *testing.T) {
+	cfg := multiscalar.DefaultConfig(8, 2, true)
+	if cfg.NumUnits != 8 || cfg.IssueWidth != 2 || !cfg.OutOfOrder {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if cfg.ARBEntries != 256 || cfg.DCacheHit != 2 || cfg.NumBanks() != 16 {
+		t.Errorf("paper defaults wrong: %+v", cfg)
+	}
+	s := multiscalar.ScalarConfig(1, false)
+	if s.NumUnits != 1 || s.DCacheHit != 1 || s.NumBanks() != 1 {
+		t.Errorf("scalar config wrong: %+v", s)
+	}
+}
+
+func TestFacadeAssembleError(t *testing.T) {
+	if _, err := multiscalar.Assemble("main:\n\tbogus $t0\n", multiscalar.ModeScalar); err == nil {
+		t.Error("expected assemble error")
+	}
+}
+
+func TestFacadeSaveLoadProgram(t *testing.T) {
+	prog, err := multiscalar.Assemble(apiDemo, multiscalar.ModeMultiscalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := multiscalar.SaveProgram(&buf, prog); err != nil {
+		t.Fatal(err)
+	}
+	back, err := multiscalar.LoadProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := multiscalar.Verify(back, multiscalar.DefaultConfig(4, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out != "1275" {
+		t.Errorf("out = %q", res.Out)
+	}
+}

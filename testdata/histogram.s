@@ -1,0 +1,48 @@
+; Byte histogram over a generated buffer; chunk tasks update private
+; per-task counts folded into shared counters at task end. Demonstrates
+; memory-order speculation: the shared counter updates occasionally
+; conflict and squash.
+	.data
+input:	.space 512
+hist:	.space 64
+	.text
+main:
+	; fill input[i] = (i*7) & 15
+	li $t0, 0
+fill:
+	li   $t2, 7
+	mul  $t1, $t0, $t2
+	andi $t1, $t1, 15
+	sb   $t1, input($t0)
+	addi $t0, $t0, 1
+	slt  $at, $t0, 512
+	bnez $at, fill
+	li $s0, 0
+	j  chunk !s
+chunk:
+	move $t9, $s0
+	.msonly addi $s0, $s0, 64 !f
+	li   $t0, 64
+byte:
+	lbu  $t1, input($t9)
+	sll  $t1, $t1, 2
+	lw   $t2, hist($t1)
+	addi $t2, $t2, 1
+	sw   $t2, hist($t1)
+	addi $t9, $t9, 1
+	addi $t0, $t0, -1
+	bnez $t0, byte
+	.sconly addi $s0, $s0, 64
+	li   $at, 512
+	bne  $s0, $at, chunk !s
+done:
+	; print hist[7*4]
+	lw  $a0, hist+28
+	li $v0, 1
+	syscall
+	li $v0, 10
+	li $a0, 0
+	syscall
+	.task main targets=chunk create=$s0
+	.task chunk targets=chunk,done create=$s0
+	.task done

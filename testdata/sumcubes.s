@@ -1,0 +1,25 @@
+; Sum of cubes 1..N with one loop iteration per task.
+; Assemble: msas testdata/sumcubes.s
+; Run:      mssim -f testdata/sumcubes.s -units 8
+	.text
+main:
+	li $s0, 100
+	li $s1, 0
+	j  loop !s
+loop:
+	move $t0, $s0
+	addi $s0, $s0, -1 !f
+	mul  $t1, $t0, $t0
+	mul  $t1, $t1, $t0
+	add  $s1, $s1, $t1 !f
+	bnez $s0, loop !s
+done:
+	move $a0, $s1
+	li $v0, 1
+	syscall
+	li $v0, 10
+	li $a0, 0
+	syscall
+	.task main targets=loop create=$s0,$s1
+	.task loop targets=loop,done create=$s0,$s1
+	.task done

@@ -1,0 +1,29 @@
+; No multiscalar annotations: use mstasks to partition automatically.
+;   mstasks testdata/unannotated.s
+	.data
+vec:	.space 400
+	.text
+main:
+	li $t0, 0
+init:
+	sll $t1, $t0, 2
+	sw  $t0, vec($t1)
+	addi $t0, $t0, 1
+	slt $at, $t0, 100
+	bnez $at, init
+	li $t0, 0
+	li $s1, 0
+sum:
+	sll $t1, $t0, 2
+	lw  $t2, vec($t1)
+	mul $t2, $t2, $t2
+	add $s1, $s1, $t2
+	addi $t0, $t0, 1
+	slt $at, $t0, 100
+	bnez $at, sum
+	move $a0, $s1
+	li $v0, 1
+	syscall
+	li $v0, 10
+	li $a0, 0
+	syscall
