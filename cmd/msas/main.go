@@ -3,6 +3,11 @@
 // with create masks and targets, and the data segment size. With -mode
 // scalar it shows the scalar build instead (annotations stripped). With
 // -encode it appends each instruction's binary encoding.
+//
+// Multiscalar builds are checked against the annotation contract
+// (docs/lint.md): hard violations reject the build with one line per
+// finding, warnings are printed to stderr alongside the listing. Disable
+// with -lint off.
 package main
 
 import (
@@ -19,10 +24,15 @@ func main() {
 		modeFlag = flag.String("mode", "multiscalar", "build mode: scalar or multiscalar")
 		encode   = flag.Bool("encode", false, "also print the binary encoding of each instruction")
 		out      = flag.String("o", "", "write a binary container (.msb) instead of a listing")
+		lintFlag = flag.String("lint", "on", "annotation-contract check: on (reject errors, print warnings) or off")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: msas [-mode scalar|multiscalar] [-encode] file.s")
+		fmt.Fprintln(os.Stderr, "usage: msas [-mode scalar|multiscalar] [-lint on|off] [-encode] file.s")
+		os.Exit(2)
+	}
+	if *lintFlag != "on" && *lintFlag != "off" {
+		fmt.Fprintln(os.Stderr, "msas: -lint must be on or off")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -33,9 +43,23 @@ func main() {
 	if *modeFlag == "scalar" {
 		mode = asm.ModeScalar
 	}
-	p, err := asm.Assemble(string(src), mode)
+	res, err := asm.AssembleOpts(string(src), asm.Options{Mode: mode, NoLint: *lintFlag == "off"})
 	if err != nil {
+		// A lint rejection still carries the full report; show every
+		// finding, not just the folded error.
+		if res != nil && res.Lint != nil {
+			for _, d := range res.Lint.Diags {
+				fmt.Fprintf(os.Stderr, "msas: %s: %s\n", flag.Arg(0), d.String())
+			}
+			os.Exit(1)
+		}
 		fatal(err)
+	}
+	p := res.Prog
+	if res.Lint != nil {
+		for _, d := range res.Lint.Warnings() {
+			fmt.Fprintf(os.Stderr, "msas: %s: warning: %s\n", flag.Arg(0), d.String())
+		}
 	}
 	if *out != "" {
 		f, err := os.Create(*out)

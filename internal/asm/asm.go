@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"multiscalar/internal/isa"
+	"multiscalar/internal/mslint"
 )
 
 // Mode selects which binary a single annotated source produces.
@@ -28,10 +29,47 @@ func (m Mode) String() string {
 	return "multiscalar"
 }
 
-// Assemble translates source text into a program image for the given mode.
+// Options controls a single assembly beyond the build mode.
+type Options struct {
+	Mode Mode
+	// NoLint skips the annotation-contract post-pass (internal/mslint)
+	// that multiscalar builds otherwise run. Use it to assemble programs
+	// that deliberately violate the contract (tests, fuzzing) or when the
+	// caller runs the linter itself.
+	NoLint bool
+}
+
+// Result is the full outcome of one assembly.
+type Result struct {
+	Prog *isa.Program
+	// Lines maps every emitted instruction address to the source line of
+	// the statement it came from (pseudo-instruction expansions share
+	// their statement's line).
+	Lines map[uint32]int
+	// Lint is the annotation-contract report for multiscalar builds (nil
+	// for scalar builds or when Options.NoLint is set). It is populated
+	// even when AssembleOpts returns a lint error, so tools can render
+	// the full report.
+	Lint *mslint.Report
+}
+
+// Assemble translates source text into a program image for the given
+// mode. Multiscalar builds are additionally checked against the
+// annotation contract; a program with hard lint errors is rejected. Use
+// AssembleOpts to opt out of the check or to receive the line table and
+// the full lint report.
 func Assemble(src string, mode Mode) (*isa.Program, error) {
+	res, err := AssembleOpts(src, Options{Mode: mode})
+	if err != nil {
+		return nil, err
+	}
+	return res.Prog, nil
+}
+
+// AssembleOpts is Assemble with explicit options and a full result.
+func AssembleOpts(src string, opts Options) (*Result, error) {
 	a := &assembler{
-		mode:    mode,
+		mode:    opts.Mode,
 		symbols: make(map[string]uint32),
 		prog: &isa.Program{
 			Tasks:   make(map[uint32]*isa.TaskDescriptor),
@@ -48,7 +86,26 @@ func Assemble(src string, mode Mode) (*isa.Program, error) {
 	if err := a.prog.Validate(); err != nil {
 		return nil, err
 	}
-	return a.prog, nil
+	res := &Result{Prog: a.prog, Lines: a.lineTable()}
+	if opts.Mode == ModeMultiscalar && !opts.NoLint {
+		res.Lint = mslint.Lint(a.prog, res.Lines)
+		if err := res.Lint.Err(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// lineTable maps each emitted instruction address to its source line.
+func (a *assembler) lineTable() map[uint32]int {
+	lines := make(map[uint32]int, len(a.instrs))
+	for i := range a.instrs {
+		pi := &a.instrs[i]
+		for k := 0; k < pi.size; k++ {
+			lines[pi.addr+uint32(k)*isa.InstrSize] = pi.line
+		}
+	}
+	return lines
 }
 
 // pendingInstr is an instruction statement awaiting symbol resolution.

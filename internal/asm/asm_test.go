@@ -9,13 +9,17 @@ import (
 	"multiscalar/internal/isa"
 )
 
+// mustAssemble assembles with the lint post-pass disabled: these tests
+// exercise assembler mechanics on minimal fragments that do not try to
+// honor the full annotation contract. TestLintPostPass covers the
+// default path.
 func mustAssemble(t *testing.T, src string, mode Mode) *isa.Program {
 	t.Helper()
-	p, err := Assemble(src, mode)
+	res, err := AssembleOpts(src, Options{Mode: mode, NoLint: true})
 	if err != nil {
 		t.Fatalf("Assemble: %v", err)
 	}
-	return p
+	return res.Prog
 }
 
 func TestBasicProgram(t *testing.T) {
@@ -494,6 +498,83 @@ end:
 		"targets=[loop,end]", "!f", "!s", "bne $s0, $zero, loop"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLintPostPass covers the default assembly path: multiscalar builds
+// run the annotation-contract linter and hard violations reject the
+// build, NoLint opts out, and scalar builds are never checked.
+func TestLintPostPass(t *testing.T) {
+	// The forward bit sits on a non-last update of $s0 (MS004, an error).
+	src := `
+main:
+	li $s0, 1 !f
+	li $s0, 2
+	j next !s
+next:
+	addi $s0, $s0, 0
+	li $v0, 10
+	li $a0, 0
+	syscall
+.task main targets=next create=$s0
+.task next
+`
+	if _, err := Assemble(src, ModeMultiscalar); err == nil {
+		t.Fatal("Assemble accepted a program with a hard lint error")
+	} else if !strings.Contains(err.Error(), "MS004") {
+		t.Fatalf("rejection does not name the violated rule: %v", err)
+	}
+
+	// The full result still carries the report on rejection, so tools can
+	// render every finding.
+	res, err := AssembleOpts(src, Options{Mode: ModeMultiscalar})
+	if err == nil {
+		t.Fatal("AssembleOpts accepted a program with a hard lint error")
+	}
+	if res == nil || res.Lint == nil || !res.Lint.HasErrors() {
+		t.Fatalf("rejection lost the lint report: res=%v", res)
+	}
+
+	// NoLint opts out of the gate.
+	res, err = AssembleOpts(src, Options{Mode: ModeMultiscalar, NoLint: true})
+	if err != nil {
+		t.Fatalf("NoLint build rejected: %v", err)
+	}
+	if res.Lint != nil {
+		t.Fatal("NoLint build still ran the linter")
+	}
+
+	// Scalar builds strip the annotations; there is no contract to check.
+	if _, err := Assemble(src, ModeScalar); err != nil {
+		t.Fatalf("scalar build rejected: %v", err)
+	}
+
+	// A contract-clean program passes the gate and carries a clean report.
+	clean := `
+main:
+	li $s0, 1 !f
+	j next !s
+next:
+	addi $s0, $s0, 0
+	li $v0, 10
+	li $a0, 0
+	syscall
+.task main targets=next create=$s0
+.task next
+`
+	res, err = AssembleOpts(clean, Options{Mode: ModeMultiscalar})
+	if err != nil {
+		t.Fatalf("clean program rejected: %v", err)
+	}
+	if res.Lint == nil || len(res.Lint.Diags) != 0 {
+		t.Fatalf("clean program carries findings:\n%s", res.Lint)
+	}
+	// The line table covers every emitted instruction.
+	for i := range res.Prog.Text {
+		addr := isa.TextBase + uint32(i)*isa.InstrSize
+		if res.Lines[addr] == 0 {
+			t.Errorf("no source line for instruction at 0x%x", addr)
 		}
 	}
 }

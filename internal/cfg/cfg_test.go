@@ -1,19 +1,20 @@
-package cfg
+package cfg_test
 
 import (
 	"testing"
 
 	"multiscalar/internal/asm"
+	"multiscalar/internal/cfg"
 	"multiscalar/internal/isa"
 )
 
-func buildGraph(t *testing.T, src string) *Graph {
+func buildGraph(t *testing.T, src string) *cfg.Graph {
 	t.Helper()
 	p, err := asm.Assemble(src, asm.ModeScalar)
 	if err != nil {
 		t.Fatalf("assemble: %v", err)
 	}
-	g := Build(p)
+	g := cfg.Build(p)
 	g.Analyze()
 	return g
 }
@@ -131,7 +132,7 @@ func TestNestedLoops(t *testing.T) {
 	if len(g.Loops) != 2 {
 		t.Fatalf("loops = %d", len(g.Loops))
 	}
-	var innerL, outerL *Loop
+	var innerL, outerL *cfg.Loop
 	for _, l := range g.Loops {
 		if len(l.Blocks) == 1 {
 			innerL = l
@@ -219,7 +220,7 @@ func TestCallSummaries(t *testing.T) {
 		t.Errorf("double uses = %v", fs.Uses)
 	}
 	// The call block's Def must include the callee's defs and $ra.
-	var callBlock *Block
+	var callBlock *cfg.Block
 	for _, b := range g.Blocks {
 		if b.CallTarget == dblAddr {
 			callBlock = b
@@ -298,7 +299,7 @@ main:
 fn:
 	jr $ra
 `)
-	var callBlock *Block
+	var callBlock *cfg.Block
 	for _, b := range g.Blocks {
 		if b.IndirectCall {
 			callBlock = b
@@ -307,7 +308,7 @@ fn:
 	if callBlock == nil {
 		t.Fatal("no indirect call block")
 	}
-	if callBlock.Def != AllRegs {
+	if callBlock.Def != cfg.AllRegs {
 		t.Errorf("indirect call def = %v", callBlock.Def)
 	}
 }
@@ -323,11 +324,12 @@ mid:
 	syscall
 	.task mid targets=mid
 `
-	p, err := asm.Assemble(src, asm.ModeMultiscalar)
+	res, err := asm.AssembleOpts(src, asm.Options{Mode: asm.ModeMultiscalar, NoLint: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := Build(p)
+	p := res.Prog
+	g := cfg.Build(p)
 	midAddr, _ := p.Symbol("mid")
 	if g.ByAddr[midAddr] == nil {
 		t.Error("task entry did not start a block")

@@ -29,6 +29,10 @@ type Block struct {
 	IndirectCall bool
 	// Returns marks a block ending in jr (function return).
 	Returns bool
+	// Halts marks a block ending in a recognized exit syscall (see
+	// ExitSyscalls): the program terminates, so the block has no
+	// successors and nothing is live out of it.
+	Halts bool
 
 	// Dataflow facts filled in by Analyze.
 	Def     isa.RegMask // registers written in the block (incl. call effects)
@@ -74,11 +78,62 @@ type Graph struct {
 type FuncSummary struct {
 	Entry uint32
 	Defs  isa.RegMask // registers the call may write (incl. callees)
-	Uses  isa.RegMask // registers the call may read (incl. callees)
+	// Uses holds the upward-exposed reads: registers the call may read
+	// before writing (incl. callees). Registers the function only reads
+	// after writing observe its own values, not the caller's, and are
+	// excluded.
+	Uses isa.RegMask
 }
 
 // instrOf returns the instruction at addr.
 func (g *Graph) instrOf(addr uint32) *isa.Instr { return g.Prog.InstrAt(addr) }
+
+// ExitSyscalls returns the addresses of statically recognizable program
+// terminations: each `syscall` whose nearest preceding $v0 write in the
+// same straight-line run is a constant 10 (the exit code of the li
+// expansion). Such a syscall never falls through, so treating it as a
+// block terminator removes bogus edges into whatever code follows it in
+// the text (typically the next function body), tightening liveness.
+// Syscalls with unknown $v0 are conservatively not included.
+func ExitSyscalls(p *isa.Program) map[uint32]bool {
+	// Any address control can jump to invalidates linear constant
+	// tracking: a branch could arrive there with a different $v0.
+	joins := map[uint32]bool{}
+	for i := range p.Text {
+		in := &p.Text[i]
+		if in.Op.IsControl() && in.Op != isa.OpJr && in.Op != isa.OpJalr {
+			joins[in.Target] = true
+		}
+	}
+	for entry := range p.Tasks {
+		joins[entry] = true
+	}
+	out := map[uint32]bool{}
+	v0 := int32(-1) // last known constant in $v0; -1 = unknown
+	for i := range p.Text {
+		addr := isa.TextBase + uint32(i)*isa.InstrSize
+		if joins[addr] {
+			v0 = -1
+		}
+		in := &p.Text[i]
+		switch {
+		case in.Op == isa.OpSyscall:
+			if v0 == 10 {
+				out[addr] = true
+			}
+			v0 = -1 // sbrk and future syscalls may write $v0
+		case in.Op.IsControl():
+			v0 = -1 // execution resumes at a target or fall-through of a split
+		case in.Dest() == isa.RegV0:
+			if (in.Op == isa.OpOri || in.Op == isa.OpAddi) && in.Rs == isa.RegZero {
+				v0 = in.Imm
+			} else {
+				v0 = -1
+			}
+		}
+	}
+	return out
+}
 
 // BlockOf returns the block containing the given address.
 func (g *Graph) BlockOf(addr uint32) *Block {
@@ -93,14 +148,17 @@ func (g *Graph) BlockOf(addr uint32) *Block {
 func Build(p *isa.Program) *Graph {
 	g := &Graph{Prog: p, ByAddr: make(map[uint32]*Block)}
 	textEnd := p.TextEnd()
+	halts := ExitSyscalls(p)
 
-	// Pass 1: find leaders.
+	// Pass 1: find leaders. A recognized exit syscall terminates its block
+	// like a control instruction: whatever follows it in the text starts a
+	// new block and receives no fall-through edge.
 	leaders := map[uint32]bool{p.Entry: true, isa.TextBase: true}
 	for i := range p.Text {
 		in := &p.Text[i]
 		addr := isa.TextBase + uint32(i)*isa.InstrSize
-		if in.Op.IsControl() {
-			if in.Op != isa.OpJr && in.Op != isa.OpJalr && in.Target >= isa.TextBase && in.Target < textEnd {
+		if in.Op.IsControl() || halts[addr] {
+			if in.Op.IsControl() && in.Op != isa.OpJr && in.Op != isa.OpJalr && in.Target >= isa.TextBase && in.Target < textEnd {
 				leaders[in.Target] = true
 			}
 			if addr+isa.InstrSize < textEnd {
@@ -141,6 +199,10 @@ func Build(p *isa.Program) *Graph {
 				b.Succs = append(b.Succs, t)
 				t.Preds = append(t.Preds, b)
 			}
+		}
+		if halts[b.End-isa.InstrSize] {
+			b.Halts = true // program exit: no successors
+			continue
 		}
 		switch {
 		case last.Op.IsBranch():

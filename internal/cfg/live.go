@@ -54,7 +54,9 @@ func (g *Graph) instrDefUse(in *isa.Instr) (def, use isa.RegMask) {
 		def = def.Set(in.Rd)
 		if fs := g.Funcs[in.Target]; fs != nil {
 			def = def.Union(fs.Defs)
-			use = use.Union(fs.Uses)
+			// The jal itself writes $ra before the callee can read it, so
+			// the callee's $ra use never reaches back past the call site.
+			use = use.Union(fs.Uses.Clear(isa.RegRA))
 		}
 	case isa.OpJalr:
 		def = AllRegs
@@ -66,18 +68,6 @@ func (g *Graph) instrDefUse(in *isa.Instr) (def, use isa.RegMask) {
 		for _, s := range in.Sources() {
 			use = use.Set(s)
 		}
-	}
-	return def, use
-}
-
-// rawDefUse is instrDefUse without call summarization (used while the
-// summaries themselves are being computed).
-func rawDefUse(in *isa.Instr) (def, use isa.RegMask) {
-	if d := in.Dest(); d != isa.RegZero {
-		def = def.Set(d)
-	}
-	for _, s := range in.Sources() {
-		use = use.Set(s)
 	}
 	return def, use
 }
@@ -127,32 +117,67 @@ func (g *Graph) computeFuncSummaries() {
 		bodies[e] = funcBlocks(e)
 	}
 
+	// Phase 1: Defs — every register any instruction in the body (or a
+	// transitive callee) may write. Fixpointed first so that phase 2 sees
+	// final callee kill sets; bootstrapping both together lets a recursive
+	// call site miss its own kills on the first pass and latch the phantom
+	// use permanently (the stale register re-enters Uses through the call
+	// site on every later iteration).
 	for changed := true; changed; {
 		changed = false
 		for e, fs := range g.Funcs {
-			var defs, uses isa.RegMask
+			var defs isa.RegMask
 			for _, b := range bodies[e] {
 				for a := b.Start; a < b.End; a += isa.InstrSize {
-					in := g.instrOf(a)
-					var d, u isa.RegMask
-					switch in.Op {
-					case isa.OpJal:
-						d = d.Set(in.Rd)
-						if cs := g.Funcs[in.Target]; cs != nil {
-							d = d.Union(cs.Defs)
-							u = u.Union(cs.Uses)
-						}
-					case isa.OpJalr:
-						d, u = AllRegs, AllRegs
-					default:
-						d, u = rawDefUse(in)
-					}
+					d, _ := g.instrDefUse(g.instrOf(a))
 					defs = defs.Union(d)
-					uses = uses.Union(u)
 				}
 			}
-			if defs != fs.Defs || uses != fs.Uses {
-				fs.Defs, fs.Uses = defs, uses
+			if defs != fs.Defs {
+				fs.Defs = defs
+				changed = true
+			}
+		}
+	}
+
+	// Phase 2: Uses — upward-exposed reads only, by backward liveness over
+	// the body with nothing live out of a return. A register the callee
+	// writes before reading observes the callee's own value, not the
+	// caller's, so it must not leak into the call-site use set.
+	for changed := true; changed; {
+		changed = false
+		for e, fs := range g.Funcs {
+			body := bodies[e]
+			inBody := make(map[*Block]bool, len(body))
+			for _, b := range body {
+				inBody[b] = true
+			}
+			liveIn := make(map[*Block]isa.RegMask, len(body))
+			for again := true; again; {
+				again = false
+				for i := len(body) - 1; i >= 0; i-- {
+					b := body[i]
+					var live isa.RegMask
+					for _, s := range b.Succs {
+						if inBody[s] {
+							live = live.Union(liveIn[s])
+						}
+					}
+					for a := b.End - isa.InstrSize; a >= b.Start; a -= isa.InstrSize {
+						d, u := g.instrDefUse(g.instrOf(a))
+						live = live.Minus(d).Union(u)
+						if a == b.Start {
+							break // avoid uint32 underflow
+						}
+					}
+					if live != liveIn[b] {
+						liveIn[b] = live
+						again = true
+					}
+				}
+			}
+			if uses := liveIn[g.ByAddr[e]]; uses != fs.Uses {
+				fs.Uses = uses
 				changed = true
 			}
 		}

@@ -31,10 +31,13 @@ end:
 	.task loop targets=loop,end create=$s0,$s1
 	.task end entry=end
 `
-	p, err := asm.Assemble(src, asm.ModeMultiscalar)
+	// mslint catches this program statically (MS004); assemble without the
+	// lint gate so the runtime checker gets its turn.
+	res, err := asm.AssembleOpts(src, asm.Options{Mode: asm.ModeMultiscalar, NoLint: true})
 	if err != nil {
 		t.Fatal(err)
 	}
+	p := res.Prog
 	cfg := DefaultConfig(4, 1, false)
 	cfg.CheckForwards = true
 	m, err := NewMultiscalar(p, interp.NewSysEnv(), cfg)
@@ -105,7 +108,7 @@ fibdone:
 	addi $sp, $sp, 12
 	jr   $ra !s
 	.task main targets=fib pushra=after create=$a0,$ra
-	.task after targets=after
+	.task after
 	.task fib targets=fib,ret pushra=fibmid call=fib create=$a0,$v0,$ra,$sp,$at
 	.task fibmid targets=fib pushra=fibend create=$a0,$v0,$ra,$sp
 	.task fibend targets=ret create=$v0,$t0,$ra,$sp,$a0,$at
@@ -260,11 +263,13 @@ end:
 	.task loop targets=loop create=$s0
 	.task end entry=end
 `
-	p, err := asm.Assemble(src, asm.ModeMultiscalar)
+	// mslint catches the missing target statically (MS006); assemble
+	// without the lint gate so the runtime validation gets its turn.
+	res, err := asm.AssembleOpts(src, asm.Options{Mode: asm.ModeMultiscalar, NoLint: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := NewMultiscalar(p, interp.NewSysEnv(), DefaultConfig(4, 1, false))
+	m, err := NewMultiscalar(res.Prog, interp.NewSysEnv(), DefaultConfig(4, 1, false))
 	if err != nil {
 		t.Fatal(err)
 	}

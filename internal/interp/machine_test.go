@@ -290,19 +290,22 @@ func TestMultiscalarBinaryRunsIdentically(t *testing.T) {
 	// same output with a higher instruction count.
 	src := `
 main:
-	li $s0, 5
-	li $s1, 0
+	li $s0, 5 !f
+	li $s1, 0 !f
+	j  loop !s
 loop:
 	add $s1, $s1, $s0 !f
 	.msonly release $s1
 	addi $s0, $s0, -1 !f
-	bnez $s0, loop !snt
+	bnez $s0, loop !s
 end:
 	move $a0, $s1
 	li $v0, 1
 	syscall
 ` + exitSeq + `
-	.task loop targets=loop,end
+	.task main targets=loop create=$s0,$s1
+	.task loop targets=loop,end create=$s0,$s1
+	.task end entry=end
 `
 	pm, err := asm.Assemble(src, asm.ModeMultiscalar)
 	if err != nil {

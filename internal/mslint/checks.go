@@ -1,0 +1,367 @@
+package mslint
+
+import (
+	"sort"
+
+	"multiscalar/internal/cfg"
+	"multiscalar/internal/isa"
+)
+
+func (l *linter) run() {
+	p := l.prog
+	if len(p.Text) == 0 || len(p.Tasks) == 0 {
+		return
+	}
+	l.g = cfg.Build(p)
+	l.g.Analyze()
+
+	if p.TaskAt(p.Entry) == nil {
+		l.diag(SevError, CodeEntryNotTask, "", isa.RegZero, p.Entry,
+			"program entry 0x%x has no task descriptor; the sequencer cannot dispatch the first task", p.Entry)
+	}
+
+	var regions []*region
+	for _, td := range p.TaskList() {
+		l.checkDescriptor(td)
+		r := l.walkTask(td)
+		regions = append(regions, r)
+		l.checkExits(r)
+		l.checkCreate(r)
+		l.checkCoverage(r)
+		l.checkForwardBits(r)
+		l.checkFCC(r)
+	}
+	l.checkOverlap(regions)
+}
+
+// checkDescriptor verifies the static shape of one descriptor: target
+// count within the hardware limit, every target resolvable to a task.
+func (l *linter) checkDescriptor(td *isa.TaskDescriptor) {
+	if len(td.Targets) > isa.MaxTaskTargets {
+		l.diag(SevError, CodeTooManyTargets, td.Name, isa.RegZero, td.Entry,
+			"%d successor targets exceed the descriptor limit of %d", len(td.Targets), isa.MaxTaskTargets)
+	}
+	for _, t := range td.Targets {
+		if t == isa.TargetReturn {
+			continue
+		}
+		if l.prog.Tasks[t] == nil {
+			l.diag(SevError, CodeBadTaskRef, td.Name, isa.RegZero, td.Entry,
+				"declared target 0x%x has no task descriptor", t)
+		}
+	}
+}
+
+// checkExits verifies that every statically discovered exit leads to a
+// declared target, that every declared target is reached by some exit,
+// and that call exits carry consistent pushra/call metadata.
+func (l *linter) checkExits(r *region) {
+	td := r.td
+	covered := map[uint32]bool{}
+	sawCall := false
+	for _, e := range r.exits {
+		if td.HasTarget(e.target) {
+			covered[e.target] = true
+		} else {
+			tname := "<return>"
+			if e.target != isa.TargetReturn {
+				tname = l.taskNameAt(e.target)
+			}
+			l.diag(SevError, CodeUndeclaredExit, td.Name, isa.RegZero, e.addr,
+				"task exits to %s (0x%x), which is not a declared target", tname, e.target)
+		}
+		if e.kind == exitCall {
+			sawCall = true
+			switch {
+			case td.PushRA == 0:
+				l.diag(SevWarning, CodeCallPushRA, td.Name, isa.RegZero, e.addr,
+					"call exit without pushra=: the return address stack cannot predict the continuation 0x%x", e.cont)
+			case td.PushRA != e.cont:
+				l.diag(SevWarning, CodeCallPushRA, td.Name, isa.RegZero, e.addr,
+					"pushra 0x%x disagrees with the call continuation 0x%x", td.PushRA, e.cont)
+			case td.CallTarget != e.target:
+				l.diag(SevWarning, CodeCallPushRA, td.Name, isa.RegZero, e.addr,
+					"call= 0x%x disagrees with the callee 0x%x", td.CallTarget, e.target)
+			}
+		}
+	}
+	if td.PushRA != 0 && !sawCall && !r.unknownExit {
+		l.diag(SevWarning, CodeCallPushRA, td.Name, isa.RegZero, td.Entry,
+			"pushra= set but no call exit is reachable")
+	}
+	if !r.unknownExit {
+		for _, t := range td.Targets {
+			if covered[t] {
+				continue
+			}
+			tname := "<return>"
+			if t != isa.TargetReturn {
+				tname = l.taskNameAt(t)
+			}
+			l.diag(SevWarning, CodeUnreachableTarget, td.Name, isa.RegZero, td.Entry,
+				"declared target %s (0x%x) is reached by no exit", tname, t)
+		}
+	}
+}
+
+func (l *linter) taskNameAt(addr uint32) string {
+	if t := l.prog.Tasks[addr]; t != nil {
+		return t.Name
+	}
+	return "<no task>"
+}
+
+// liveOutOf returns the registers live into any declared successor: the
+// union of the successor tasks' entry live-in sets, with the conservative
+// ABI set standing in for return successors.
+func (l *linter) liveOutOf(td *isa.TaskDescriptor) isa.RegMask {
+	var m isa.RegMask
+	for _, t := range td.Targets {
+		if t == isa.TargetReturn {
+			m = m.Union(cfg.LiveAtReturn)
+			continue
+		}
+		if b := l.g.ByAddr[t]; b != nil {
+			m = m.Union(b.LiveIn)
+		}
+	}
+	return m
+}
+
+// checkCreate verifies create-mask soundness in both directions: every
+// register the task writes that is live into a successor must be in the
+// mask (error — the successor would consume a stale pass-through value),
+// and no register dead at every successor should be (warning — it
+// serializes successors for nothing).
+func (l *linter) checkCreate(r *region) {
+	td := r.td
+	liveOut := l.liveOutOf(td)
+	var defs isa.RegMask
+	for _, b := range r.blocks {
+		defs = defs.Union(l.blockDefs(b))
+	}
+	missing := defs.Intersect(liveOut).Minus(td.Create)
+	missing.ForEach(func(reg isa.Reg) {
+		l.diag(SevError, CodeCreateMissing, td.Name, reg, l.firstDefOf(r, reg),
+			"task writes %s, which is live into a successor, but %s is not in the create mask", reg, reg)
+	})
+	dead := td.Create.Minus(liveOut)
+	dead.ForEach(func(reg isa.Reg) {
+		l.diag(SevWarning, CodeCreateDead, td.Name, reg, td.Entry,
+			"create-mask register %s is dead at every declared successor", reg)
+	})
+}
+
+// firstDefOf returns the address of the lowest-addressed write of reg in
+// the region (for diagnostic anchoring), or the task entry.
+func (l *linter) firstDefOf(r *region, reg isa.Reg) uint32 {
+	blocks := append([]*cfg.Block(nil), r.blocks...)
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Start < blocks[j].Start })
+	for _, b := range blocks {
+		for a := b.Start; a < b.End; a += isa.InstrSize {
+			if instrDefs(l.prog.InstrAt(a)).Has(reg) {
+				return a
+			}
+		}
+	}
+	return r.td.Entry
+}
+
+// checkCoverage runs the must-cover analysis: on every path from the
+// task entry to each exit, each create-mask register should be forwarded
+// or released; registers relying on the completion flush are flagged.
+func (l *linter) checkCoverage(r *region) {
+	create := r.td.Create
+	if create.Empty() || len(r.exits) == 0 {
+		return
+	}
+	covGen := map[*cfg.Block]isa.RegMask{}
+	for _, b := range r.blocks {
+		var m isa.RegMask
+		for a := b.Start; a < b.End; a += isa.InstrSize {
+			in := l.prog.InstrAt(a)
+			if in.Fwd {
+				m = m.Set(in.Dest())
+			}
+			if in.Op == isa.OpRelease {
+				m = m.Set(in.Rs)
+			}
+		}
+		covGen[b] = m.Intersect(create)
+	}
+	preds := r.preds()
+	entry := l.g.ByAddr[r.td.Entry]
+	out := map[*cfg.Block]isa.RegMask{}
+	for _, b := range r.blocks {
+		out[b] = create // optimistic top for the descending fixpoint
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range r.blocks {
+			var in isa.RegMask
+			if b != entry && len(preds[b]) > 0 {
+				in = create
+				for _, p := range preds[b] {
+					in = in.Intersect(out[p])
+				}
+			}
+			o := in.Union(covGen[b])
+			if o != out[b] {
+				out[b] = o
+				changed = true
+			}
+		}
+	}
+	var reported isa.RegMask
+	for _, e := range r.exits {
+		b := l.g.BlockOf(e.addr)
+		if b == nil {
+			continue
+		}
+		miss := create.Minus(out[b]).Minus(reported)
+		miss.ForEach(func(reg isa.Reg) {
+			reported = reported.Set(reg)
+			l.diag(SevWarning, CodeFlushOnly, r.td.Name, reg, e.addr,
+				"create-mask register %s is neither forwarded nor released on a path to this exit; successors wait for the completion flush", reg)
+		})
+	}
+}
+
+// checkForwardBits verifies forward-bit placement: a forward bit (or a
+// release) must not precede a possible later write of the same register
+// within the task (the ring would transmit a stale value), and forwards/
+// releases outside the create mask satisfy no successor's reservation.
+func (l *linter) checkForwardBits(r *region) {
+	create := r.td.Create
+	// mayWrite fixpoint: mwIn[b] = defs(b) ∪ (∪ succ mwIn) over internal
+	// edges; exit edges contribute nothing (the task has ended).
+	mwIn := map[*cfg.Block]isa.RegMask{}
+	for changed := true; changed; {
+		changed = false
+		for i := len(r.blocks) - 1; i >= 0; i-- {
+			b := r.blocks[i]
+			var tail isa.RegMask
+			for _, s := range r.edges[b] {
+				tail = tail.Union(mwIn[s])
+			}
+			in := l.blockDefs(b).Union(tail)
+			if in != mwIn[b] {
+				mwIn[b] = in
+				changed = true
+			}
+		}
+	}
+	for _, b := range r.blocks {
+		n := b.NumInstrs()
+		later := make([]isa.RegMask, n) // may be written strictly after instr i
+		var tail isa.RegMask
+		for _, s := range r.edges[b] {
+			tail = tail.Union(mwIn[s])
+		}
+		for i := n - 1; i >= 0; i-- {
+			later[i] = tail
+			tail = tail.Union(instrDefs(l.prog.InstrAt(b.Start + uint32(i)*isa.InstrSize)))
+		}
+		for i := 0; i < n; i++ {
+			a := b.Start + uint32(i)*isa.InstrSize
+			in := l.prog.InstrAt(a)
+			if in.Fwd {
+				d := in.Dest()
+				switch {
+				case d == isa.RegZero:
+					l.diag(SevWarning, CodeForeignForward, r.td.Name, isa.RegZero, a,
+						"forward bit on an instruction with no destination register")
+				case !create.Has(d):
+					l.diag(SevWarning, CodeForeignForward, r.td.Name, d, a,
+						"forward bit on %s, which is not in the create mask", d)
+				case later[i].Has(d):
+					l.diag(SevError, CodeStaleForward, r.td.Name, d, a,
+						"forward bit on a non-last update of %s: a later write within the task would make the forwarded value stale", d)
+				}
+			}
+			if in.Op == isa.OpRelease {
+				switch {
+				case !create.Has(in.Rs):
+					l.diag(SevWarning, CodeForeignForward, r.td.Name, in.Rs, a,
+						"release of %s, which is not in the create mask", in.Rs)
+				case later[i].Has(in.Rs):
+					l.diag(SevError, CodeStaleForward, r.td.Name, in.Rs, a,
+						"release of %s before a possible later write within the task: the released value would be stale", in.Rs)
+				}
+			}
+		}
+	}
+}
+
+// checkFCC flags floating-point condition-flag liveness across the task
+// entry: a bc1t/bc1f reachable from the entry before any FP compare
+// consumes a flag set in a previous task, and the flag is task-local.
+func (l *linter) checkFCC(r *region) {
+	setsFCC := func(op isa.Op) bool {
+		return op == isa.OpCEqD || op == isa.OpCLtD || op == isa.OpCLeD
+	}
+	entry := l.g.ByAddr[r.td.Entry]
+	if entry == nil {
+		return
+	}
+	seen := map[*cfg.Block]bool{entry: true}
+	stack := []*cfg.Block{entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		blocked := false
+		for a := b.Start; a < b.End; a += isa.InstrSize {
+			in := l.prog.InstrAt(a)
+			if in.ReadsFCC() {
+				l.diag(SevWarning, CodeFCCBoundary, r.td.Name, isa.RegZero, a,
+					"%s executes before any FP compare in this task; the FP condition flag does not cross task boundaries", in.Op)
+				return
+			}
+			if setsFCC(in.Op) {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		for _, s := range r.edges[b] {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+}
+
+// checkOverlap flags instructions reachable from two task headers
+// without being their own task. Shared suppressed-callee bodies are the
+// legitimate exception (they execute within each calling task); blocks
+// reached only through call edges are therefore excluded.
+func (l *linter) checkOverlap(regions []*region) {
+	owners := map[*cfg.Block][]string{}
+	for _, r := range regions {
+		for _, b := range r.blocks {
+			if !r.depth0[b] {
+				continue
+			}
+			if l.prog.Tasks[b.Start] != nil {
+				continue // its own task (or a flagged entry crossing)
+			}
+			owners[b] = append(owners[b], r.td.Name)
+		}
+	}
+	var shared []*cfg.Block
+	for b, names := range owners {
+		if len(names) > 1 {
+			shared = append(shared, b)
+		}
+	}
+	sort.Slice(shared, func(i, j int) bool { return shared[i].Start < shared[j].Start })
+	for _, b := range shared {
+		names := owners[b]
+		sort.Strings(names)
+		l.diag(SevWarning, CodeTaskOverlap, "", isa.RegZero, b.Start,
+			"instructions at 0x%x are reachable from task headers %v without being their own task", b.Start, names)
+	}
+}

@@ -1,0 +1,94 @@
+package mslint_test
+
+import (
+	"strings"
+	"testing"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/core"
+	"multiscalar/internal/interp"
+	"multiscalar/internal/mslint"
+)
+
+// FuzzLint: the linter must never panic on any program the assembler
+// accepts, its report invariants must hold, and — the property that makes
+// it a gate worth trusting — any multiscalar program it passes with zero
+// findings must execute equivalently on the functional oracle and the
+// timing simulator. Run with `go test -fuzz FuzzLint ./internal/mslint`.
+func FuzzLint(f *testing.F) {
+	// The assembler fuzzer's seeds: arbitrary-but-plausible sources.
+	f.Add("main:\n\tli $t0, 1\n\tsyscall\n")
+	f.Add("main:\n\tadd $t0, $t1, $t2 !f !s\n.task main targets=main create=$t0\n")
+	f.Add(".data\nx:\t.word 1, x+4\n.text\nmain:\n\tlw $t0, x($gp)\n")
+	f.Add("main:\n\tblt $t0, $t1, main\n\trelease $t0, $f3\n")
+	f.Add(".msonly move $t9, $s0\n.sconly nop\nmain:\n\tj main !st\n")
+	f.Add("main:\n\tli $t0, '\\n'\n\t.asciiz \"a\\\"b\"\n")
+	// A clean two-task program (the equivalence path).
+	f.Add("main:\n\tli $s0, 3 !f\n\tj next !s\nnext:\n\tadd $a0, $s0, $zero\n\tli $v0, 1\n\tsyscall\n\tli $v0, 10\n\tli $a0, 0\n\tsyscall\n.task main targets=next create=$s0\n.task next\n")
+	// One seed per diagnostic family, so mutation starts near the
+	// interesting boundaries of the contract.
+	f.Add("main:\n\tli $s0, 1 !f\n\tli $s0, 2\n\tj next !s\nnext:\n\tadd $t0, $s0, $zero\n\tli $v0, 10\n\tli $a0, 0\n\tsyscall\n.task main targets=next create=$s0\n.task next\n")
+	f.Add("main:\n\tli $t0, 1\n\tj next !s\nnext:\n\tli $v0, 10\n\tli $a0, 0\n\tsyscall\n.task main\n.task next\n")
+	f.Add("main:\n\tjal fn\n\tj done !s\nfn:\n\tjr $ra !s\ndone:\n\tli $v0, 10\n\tli $a0, 0\n\tsyscall\n.task main targets=done\n.task done\n")
+	f.Add("main:\n\tli $t0, 1\n\tj t !s\nt:\n\tli $v0, 10\n\tli $a0, 0\n\tsyscall\n.task t\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		for _, mode := range []asm.Mode{asm.ModeScalar, asm.ModeMultiscalar} {
+			res, err := asm.AssembleOpts(src, asm.Options{Mode: mode, NoLint: true})
+			if err != nil || res == nil {
+				continue
+			}
+			// Lint must not panic, with or without a line table.
+			rep := mslint.Lint(res.Prog, res.Lines)
+			mslint.Lint(res.Prog, nil)
+
+			if len(rep.Errors())+len(rep.Warnings()) != len(rep.Diags) {
+				t.Fatalf("error/warning split loses findings: %d + %d != %d",
+					len(rep.Errors()), len(rep.Warnings()), len(rep.Diags))
+			}
+			if (rep.Err() != nil) != rep.HasErrors() {
+				t.Fatalf("Err() = %v but HasErrors() = %v", rep.Err(), rep.HasErrors())
+			}
+			if _, jerr := rep.JSON(); jerr != nil {
+				t.Fatalf("report does not marshal: %v", jerr)
+			}
+
+			// The gate property: a multiscalar program with ZERO findings
+			// (warnings included — an indirect-call warning, for example,
+			// marks the program as unanalyzable) must run equivalently on
+			// the oracle and the timing simulator. Bounded on both sides;
+			// programs that run away are skipped, not failed.
+			if mode != asm.ModeMultiscalar || len(rep.Diags) != 0 ||
+				len(res.Prog.Tasks) == 0 || len(res.Prog.Text) > 4096 {
+				continue
+			}
+			oracleEnv := interp.NewSysEnv()
+			om := interp.NewMachine(res.Prog, oracleEnv)
+			if err := om.Run(100_000); err != nil {
+				continue // does not terminate cleanly; nothing to compare
+			}
+			cfg := core.DefaultConfig(4, 1, false)
+			cfg.MaxCycles = 2_000_000
+			msEnv := interp.NewSysEnv()
+			m, err := core.NewMultiscalar(res.Prog, msEnv, cfg)
+			if err != nil {
+				t.Fatalf("lint-clean program rejected by the simulator: %v\nsource:\n%s", err, src)
+			}
+			msRes, err := m.Run()
+			if err != nil {
+				if strings.Contains(err.Error(), "exceeded") {
+					continue // hit the cycle bound, not a contract failure
+				}
+				t.Fatalf("lint-clean program fails at runtime: %v\nsource:\n%s", err, src)
+			}
+			if msRes.Out != oracleEnv.Out.String() {
+				t.Fatalf("lint-clean program diverges from the oracle: %q vs %q\nsource:\n%s",
+					msRes.Out, oracleEnv.Out.String(), src)
+			}
+			if msRes.Committed != om.ICount {
+				t.Fatalf("lint-clean program committed %d instructions, oracle executed %d\nsource:\n%s",
+					msRes.Committed, om.ICount, src)
+			}
+		}
+	})
+}

@@ -25,6 +25,7 @@ import (
 
 	"multiscalar/internal/cfg"
 	"multiscalar/internal/isa"
+	"multiscalar/internal/mslint"
 )
 
 // Options control partitioning.
@@ -38,6 +39,11 @@ type Options struct {
 	// KeepLoopTasks==false disables loop-header task entries (only useful
 	// for ablation).
 	NoLoopTasks bool
+	// NoLint skips the annotation-contract post-pass (internal/mslint)
+	// over the produced partition. The linter is the partitioner's safety
+	// net: a partition with hard lint errors indicates a partitioner bug
+	// and is rejected by default.
+	NoLint bool
 }
 
 // TaskInfo describes one produced task.
@@ -107,6 +113,11 @@ func Run(prog *isa.Program, opt Options) (*Partition, error) {
 	}
 	if err := prog.Validate(); err != nil {
 		return nil, err
+	}
+	if !opt.NoLint {
+		if err := mslint.Lint(prog, nil).Err(); err != nil {
+			return nil, fmt.Errorf("taskpart: produced an invalid partition (partitioner bug): %w", err)
+		}
 	}
 	return &Partition{Graph: g, Tasks: tasks}, nil
 }

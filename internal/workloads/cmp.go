@@ -46,10 +46,10 @@ func cmpSource(scale int) string {
 	b.WriteString(`
 	.text
 main:
-	li   $s0, 0
+	li   $s0, 0 !f
 `)
-	b.WriteString("\tli   $s5, " + itoa(n) + "\n")
-	b.WriteString(`	li   $s6, -1             ; mismatch position (-1 = none)
+	b.WriteString("\tli   $s5, " + itoa(n) + " !f\n")
+	b.WriteString(`	li   $s6, -1 !f          ; mismatch position (-1 = none)
 	j    CHUNK !s
 
 CHUNK:

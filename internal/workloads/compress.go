@@ -58,12 +58,12 @@ func compressSource(scale int) string {
 	sb.WriteString(`
 	.text
 main:
-	li   $s0, 0              ; input cursor
-	li   $s1, 0              ; ent (prefix code) — the recurrence
-	li   $s2, 256            ; next free code
-	li   $s3, 0              ; output checksum
+	li   $s0, 0 !f           ; input cursor
+	li   $s1, 0 !f           ; ent (prefix code) — the recurrence
+	li   $s2, 256 !f         ; next free code
+	li   $s3, 0 !f           ; output checksum
 `)
-	sb.WriteString("\tli   $s5, " + itoa(len(text)) + "\n")
+	sb.WriteString("\tli   $s5, " + itoa(len(text)) + " !f\n")
 	sb.WriteString(`	j    BYTE !s
 
 BYTE:

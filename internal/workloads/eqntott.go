@@ -55,10 +55,10 @@ func eqntottSource(scale int) string {
 	sb.WriteString(`
 	.text
 main:
-	li   $s0, 0              ; pair index
-	li   $s1, 0              ; order accumulator
+	li   $s0, 0 !f           ; pair index
+	li   $s1, 0 !f           ; order accumulator
 `)
-	sb.WriteString("\tli   $s5, " + itoa(npairs) + "\n")
+	sb.WriteString("\tli   $s5, " + itoa(npairs) + " !f\n")
 	sb.WriteString(`	j    PAIR !s
 
 PAIR:

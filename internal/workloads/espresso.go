@@ -54,10 +54,10 @@ func espressoSource(scale int) string {
 	sb.WriteString(`
 	.text
 main:
-	li   $s0, 0              ; cube index
-	li   $s1, 0              ; total bit count
+	li   $s0, 0 !f           ; cube index
+	li   $s1, 0 !f           ; total bit count
 `)
-	sb.WriteString("\tli   $s5, " + itoa(ncubes) + "\n")
+	sb.WriteString("\tli   $s5, " + itoa(ncubes) + " !f\n")
 	sb.WriteString(`	j    COUNT !s
 
 	; ---- loop 1: popcount one cube per task (variable work) ----
@@ -85,7 +85,7 @@ CWNEXT:
 	.sconly addi $s0, $s0, 1
 	.sconly bne  $s0, $s5, COUNT
 L2SETUP:
-	li   $s0, 0
+	li   $s0, 0 !f
 	j    PAIRS !s
 
 	; ---- loop 2: nested loop as one task: cube i vs next 4 cubes ----

@@ -89,8 +89,8 @@ func exampleSource(scale int) string {
 	b.WriteString(`
 	.text
 main:
-	la   $s0, buffer
-	la   $s4, bufend
+	la   $s0, buffer !f
+	la   $s4, bufend !f
 	j    OUTER !s
 
 OUTER:

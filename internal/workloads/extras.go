@@ -51,10 +51,10 @@ func matmulSource(scale int) string {
 	.text
 main:
 	; init: a[i][j] = i+j, b[i][j] = i-j (single init task per row)
-	li   $s0, 0
+	li   $s0, 0 !f
 `)
-	sb.WriteString("\tli   $s5, " + itoa(n) + "\n")
-	sb.WriteString("\tli   $s6, " + itoa(4*n) + "\n")
+	sb.WriteString("\tli   $s5, " + itoa(n) + " !f\n")
+	sb.WriteString("\tli   $s6, " + itoa(4*n) + " !f\n")
 	sb.WriteString(`	j    MIROW !s
 MIROW:
 	move $t9, $s0
@@ -76,7 +76,7 @@ MICOL:
 	.sconly bne  $s0, $s5, MIROW
 
 MSETUP:
-	li   $s0, 0
+	li   $s0, 0 !f
 	j    MROW !s
 
 	; c[i] = a[i] * b : one result row per task
@@ -141,9 +141,9 @@ func sieveSource(scale int) string {
 	sb.WriteString(`
 	.text
 main:
-	li   $s0, 2              ; candidate
+	li   $s0, 2 !f           ; candidate
 `)
-	sb.WriteString("\tli   $s5, " + itoa(n) + "\n")
+	sb.WriteString("\tli   $s5, " + itoa(n) + " !f\n")
 	sb.WriteString(`	j    CAND !s
 
 	; one candidate per task: if still prime, clear its multiples — the

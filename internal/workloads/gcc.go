@@ -56,10 +56,10 @@ func gccSource(scale int) string {
 	sb.WriteString(`
 	.text
 main:
-	li   $s0, 0              ; node index
-	li   $s1, 0              ; checksum
+	li   $s0, 0 !f           ; node index
+	li   $s1, 0 !f           ; checksum
 `)
-	sb.WriteString("\tli   $s5, " + itoa(nnodes) + "\n")
+	sb.WriteString("\tli   $s5, " + itoa(nnodes) + " !f\n")
 	sb.WriteString(`	j    NODE !s
 
 NODE:

@@ -48,10 +48,10 @@ func scSource(scale int) string {
 	sb.WriteString(`
 	.text
 main:
-	li   $s0, 0              ; work-list index
-	li   $s1, 0              ; grand total
+	li   $s0, 0 !f           ; work-list index
+	li   $s1, 0 !f           ; grand total
 `)
-	sb.WriteString("\tli   $s5, " + itoa(ncells) + "\n")
+	sb.WriteString("\tli   $s5, " + itoa(ncells) + " !f\n")
 	sb.WriteString(`	j    CELL !s
 
 CELL:

@@ -39,12 +39,12 @@ func tomcatvSource(scale int) string {
 	b.WriteString(`
 	.text
 main:
-	li   $s0, 0              ; row index
+	li   $s0, 0 !f           ; row index
 `)
-	b.WriteString("\tli   $s5, " + itoa(n) + "\n")
-	b.WriteString("\tli   $s6, " + itoa(rowBytes) + "\n")
-	b.WriteString(`	l.d  $f30, scalef
-	mtc1 $f20, $zero         ; checksum
+	b.WriteString("\tli   $s5, " + itoa(n) + " !f\n")
+	b.WriteString("\tli   $s6, " + itoa(rowBytes) + " !f\n")
+	b.WriteString(`	l.d  $f30, scalef !f
+	mtc1 $f20, $zero !f      ; checksum
 	j    IROW !s
 
 	; ---- init: grida[i][j] = (i*j mod 97) * scale, one row per task ----
@@ -70,7 +70,7 @@ ICOL:
 	.sconly bne  $s0, $s5, IROW
 
 ISETUP:
-	li   $s0, 1              ; stencil rows 1..n-2
+	li   $s0, 1 !f           ; stencil rows 1..n-2
 	j    SROW !s
 
 	; ---- stencil: gridb = 0.25*(N+S+E+W), partial sum per row ----

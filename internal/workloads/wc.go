@@ -61,13 +61,13 @@ func wcSource(scale int) string {
 	b.WriteString(`
 	.text
 main:
-	li   $s0, 0              ; cursor
-	li   $s1, 0              ; lines
-	li   $s2, 0              ; words
-	li   $s3, 0              ; chars
-	li   $s7, 1              ; previous chunk ended in whitespace
+	li   $s0, 0 !f           ; cursor
+	li   $s1, 0 !f           ; lines
+	li   $s2, 0 !f           ; words
+	li   $s3, 0 !f           ; chars
+	li   $s7, 1 !f           ; previous chunk ended in whitespace
 `)
-	b.WriteString("\tli   $s5, " + itoa(len(text)) + "\n")
+	b.WriteString("\tli   $s5, " + itoa(len(text)) + " !f\n")
 	b.WriteString(`	j    CHUNK !s
 
 CHUNK:

@@ -65,10 +65,10 @@ func xlispSource(scale int) string {
 	sb.WriteString(`
 	.text
 main:
-	li   $s0, 0              ; expression index
-	li   $s1, 0              ; checksum
+	li   $s0, 0 !f           ; expression index
+	li   $s1, 0 !f           ; checksum
 `)
-	sb.WriteString("\tli   $s5, " + itoa(len(roots)) + "\n")
+	sb.WriteString("\tli   $s5, " + itoa(len(roots)) + " !f\n")
 	sb.WriteString(`	j    EXPR !s
 
 EXPR:
@@ -78,6 +78,9 @@ EXPR:
 	sll  $t0, $t9, 2
 	lw   $a0, roots($t0)
 	jal  eval                ; suppressed recursive evaluator
+	; eval pushes and pops frames: $sp is back to its entry value here and
+	; will not move again in this task, so release it for the next task
+	.msonly release $sp
 	; cons the result: the shared heap pointer serializes tasks
 	lw   $t1, heapptr
 	sw   $v0, 0($t1)
@@ -117,7 +120,7 @@ EVLEAF:
 	sub  $v0, $zero, $v0     ; value = -(x+1) undone
 	jr   $ra
 	.task main targets=EXPR create=$s0,$s1,$s5
-	.task EXPR targets=EXPR,DONE create=$s0,$s1
+	.task EXPR targets=EXPR,DONE create=$s0,$s1,$sp
 	.task DONE
 `)
 	return sb.String()

@@ -31,6 +31,7 @@ import (
 	"multiscalar/internal/core"
 	"multiscalar/internal/interp"
 	"multiscalar/internal/isa"
+	"multiscalar/internal/mslint"
 	"multiscalar/internal/taskpart"
 	"multiscalar/internal/workloads"
 )
@@ -64,9 +65,42 @@ const (
 // PartitionOptions controls the automatic task partitioner.
 type PartitionOptions = taskpart.Options
 
-// Assemble builds a program from annotated assembly source.
+// LintReport is the outcome of checking a program against the
+// multiscalar annotation contract (Section 2.2): create-mask soundness,
+// forward/release coverage, forward-bit placement, stop/exit structure.
+type LintReport = mslint.Report
+
+// LintDiag is one finding in a LintReport.
+type LintDiag = mslint.Diag
+
+// Assemble builds a program from annotated assembly source. Multiscalar
+// builds are checked against the annotation contract and rejected on
+// hard violations; see AssembleOptions to opt out or to obtain the full
+// lint report and the source line table.
 func Assemble(src string, mode Mode) (*Program, error) {
 	return asm.Assemble(src, mode)
+}
+
+// AssembleOptions controls Assemble beyond the build mode.
+type AssembleOptions = asm.Options
+
+// AssembleResult carries the assembled program plus the line table and
+// lint report.
+type AssembleResult = asm.Result
+
+// AssembleFull is Assemble with explicit options and a full result.
+func AssembleFull(src string, opts AssembleOptions) (*AssembleResult, error) {
+	return asm.AssembleOpts(src, opts)
+}
+
+// Lint checks an assembled program against the annotation contract. The
+// report separates hard errors (contract violations the runtime turns
+// into wrong values or deadlocks) from warnings (legal but slow or
+// suspicious constructs). A program without task descriptors lints
+// clean. lines optionally maps instruction addresses to source lines
+// (see AssembleResult.Lines); pass nil for loaded binaries.
+func Lint(p *Program, lines map[uint32]int) *LintReport {
+	return mslint.Lint(p, lines)
 }
 
 // Partition runs the automatic task partitioner over a program that has

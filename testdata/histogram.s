@@ -17,7 +17,7 @@ fill:
 	addi $t0, $t0, 1
 	slt  $at, $t0, 512
 	bnez $at, fill
-	li $s0, 0
+	li $s0, 0 !f
 	j  chunk !s
 chunk:
 	move $t9, $s0

@@ -3,8 +3,8 @@
 ; Run:      mssim -f testdata/sumcubes.s -units 8
 	.text
 main:
-	li $s0, 100
-	li $s1, 0
+	li $s0, 100 !f
+	li $s1, 0 !f
 	j  loop !s
 loop:
 	move $t0, $s0
