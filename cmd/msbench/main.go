@@ -4,18 +4,26 @@
 // for in-order and out-of-order units), the Section 3 cycle-distribution
 // breakdown, and the ablation sweeps.
 //
+// Independent simulation jobs run concurrently on a worker pool bounded
+// by GOMAXPROCS, with builds and functional-oracle runs memoized per
+// (workload, mode, scale); all tables are byte-identical to the
+// sequential path (-seq).
+//
 // Usage:
 //
 //	msbench -table 3              one table at full benchmark scale
 //	msbench -all -quick           everything at the fast test scale
 //	msbench -breakdown -units 8
 //	msbench -ablate
+//	msbench -all -seq             force the sequential path
+//	msbench -all -json out.json   also write a timing/throughput report
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"multiscalar/internal/bench"
 	"multiscalar/internal/isa"
@@ -23,76 +31,115 @@ import (
 
 func main() {
 	var (
-		table     = flag.Int("table", 0, "print one table (1-4)")
-		all       = flag.Bool("all", false, "print every table")
-		breakdown = flag.Bool("breakdown", false, "print the Section 3 cycle distribution")
-		ablate    = flag.Bool("ablate", false, "run the ablation sweeps")
-		sweep     = flag.Bool("sweep", false, "print speedup-vs-units curves (figure-style view)")
-		mix       = flag.Bool("mix", false, "print the dynamic instruction mix of the benchmarks")
-		units     = flag.Int("units", 8, "unit count for -breakdown")
-		quick     = flag.Bool("quick", false, "use fast test-scale inputs")
+		table      = flag.Int("table", 0, "print one table (1-4)")
+		all        = flag.Bool("all", false, "print every table")
+		breakdown  = flag.Bool("breakdown", false, "print the Section 3 cycle distribution")
+		ablate     = flag.Bool("ablate", false, "run the ablation sweeps")
+		sweep      = flag.Bool("sweep", false, "print speedup-vs-units curves (figure-style view)")
+		mix        = flag.Bool("mix", false, "print the dynamic instruction mix of the benchmarks")
+		units      = flag.Int("units", 8, "unit count for -breakdown")
+		quick      = flag.Bool("quick", false, "use fast test-scale inputs")
+		seq        = flag.Bool("seq", false, "force the sequential path (1 worker)")
+		par        = flag.Int("par", 0, "cap concurrent simulation jobs (default GOMAXPROCS)")
+		jsonOut    = flag.String("json", "", "write a machine-readable timing/throughput report to this file (- for stdout)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	if *seq {
+		bench.SetWorkers(1)
+	} else if *par > 0 {
+		bench.SetWorkers(*par)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
 
 	scale := bench.Scale(0)
 	if *quick {
 		scale = -1
 	}
+	report := bench.NewReport(scale)
 
 	ran := false
 	if *all || *table == 1 {
-		printTable1()
+		report.Time("table1", printTable1)
 		ran = true
 	}
 	if *all || *table == 2 {
-		rows, err := bench.Table2(scale)
-		check(err)
-		fmt.Println(bench.FormatTable2(rows))
+		report.Time("table2", func() {
+			rows, err := bench.Table2(scale)
+			check(err)
+			fmt.Println(bench.FormatTable2(rows))
+		})
 		ran = true
 	}
 	if *all || *table == 3 {
-		for _, width := range []int{1, 2} {
-			rows, err := bench.PerfTable(width, false, scale)
-			check(err)
-			fmt.Println(bench.FormatPerfTable(
-				fmt.Sprintf("Table 3: in-order %d-way issue units", width), rows))
-		}
+		report.Time("table3", func() {
+			for _, width := range []int{1, 2} {
+				rows, err := bench.PerfTable(width, false, scale)
+				check(err)
+				fmt.Println(bench.FormatPerfTable(
+					fmt.Sprintf("Table 3: in-order %d-way issue units", width), rows))
+			}
+		})
 		ran = true
 	}
 	if *all || *table == 4 {
-		for _, width := range []int{1, 2} {
-			rows, err := bench.PerfTable(width, true, scale)
-			check(err)
-			fmt.Println(bench.FormatPerfTable(
-				fmt.Sprintf("Table 4: out-of-order %d-way issue units", width), rows))
-		}
+		report.Time("table4", func() {
+			for _, width := range []int{1, 2} {
+				rows, err := bench.PerfTable(width, true, scale)
+				check(err)
+				fmt.Println(bench.FormatPerfTable(
+					fmt.Sprintf("Table 4: out-of-order %d-way issue units", width), rows))
+			}
+		})
 		ran = true
 	}
 	if *breakdown || *all {
-		rows, err := bench.Breakdown(*units, scale)
-		check(err)
-		fmt.Println(bench.FormatBreakdown(rows))
+		report.Time("breakdown", func() {
+			rows, err := bench.Breakdown(*units, scale)
+			check(err)
+			fmt.Println(bench.FormatBreakdown(rows))
+		})
 		ran = true
 	}
 	if *ablate || *all {
-		runAblations(scale)
+		report.Time("ablate", func() { runAblations(scale) })
 		ran = true
 	}
 	if *sweep || *all {
-		curves, err := bench.SpeedupCurves(1, false, scale, []int{2, 4, 8, 16})
-		check(err)
-		fmt.Println(bench.FormatCurves("Speedup vs unit count (1-way in-order units)", curves))
+		report.Time("sweep", func() {
+			curves, err := bench.SpeedupCurves(1, false, scale, []int{2, 4, 8, 16})
+			check(err)
+			fmt.Println(bench.FormatCurves("Speedup vs unit count (1-way in-order units)", curves))
+		})
 		ran = true
 	}
 	if *mix || *all {
-		rows, err := bench.Mixes(scale)
-		check(err)
-		fmt.Println(bench.FormatMixes(rows))
+		report.Time("mix", func() {
+			rows, err := bench.Mixes(scale)
+			check(err)
+			fmt.Println(bench.FormatMixes(rows))
+		})
 		ran = true
 	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *jsonOut != "" {
+		data, err := report.Finalize()
+		check(err)
+		if *jsonOut == "-" {
+			fmt.Println(string(data))
+		} else {
+			check(os.WriteFile(*jsonOut, append(data, '\n'), 0o644))
+		}
 	}
 }
 

@@ -44,10 +44,11 @@ func (p OverflowPolicy) String() string {
 const chunkBytes = 8
 
 type entry struct {
-	chunk  uint32             // address >> 3
-	loads  [chunkBytes]uint32 // per byte: bit u set => unit u loaded it from elsewhere
-	stores [chunkBytes]uint32 // per byte: bit u set => unit u stored it
-	data   [MaxUnits][8]byte  // per unit speculative store bytes
+	chunk   uint32             // address >> 3
+	touched uint32             // bit u set => entry is on unit u's touch list
+	loads   [chunkBytes]uint32 // per byte: bit u set => unit u loaded it from elsewhere
+	stores  [chunkBytes]uint32 // per byte: bit u set => unit u stored it
+	data    [MaxUnits][8]byte  // per unit speculative store bytes
 }
 
 func (e *entry) empty() bool {
@@ -68,6 +69,11 @@ type ARB struct {
 	Policy         OverflowPolicy
 
 	banks []map[uint32]*entry
+
+	// touchLists[u] holds the entries unit u has bits in, so ClearUnit
+	// and Commit visit only those instead of sweeping every bank — the
+	// squash and retire paths are on the simulator's critical loop.
+	touchLists [][]*entry
 
 	// Stats
 	Violations    uint64
@@ -93,7 +99,20 @@ func New(numUnits, numBanks, entriesPerBank int, policy OverflowPolicy) *ARB {
 	for i := range a.banks {
 		a.banks[i] = make(map[uint32]*entry)
 	}
+	a.touchLists = make([][]*entry, numUnits)
 	return a
+}
+
+// touch puts e on unit's touch list (once). Callers must only touch
+// entries they are about to set bits in, so that an entry on a unit's
+// list always carries that unit's bits until ClearUnit/Commit removes
+// both together.
+func (a *ARB) touch(e *entry, unit int) {
+	bit := uint32(1) << uint(unit)
+	if e.touched&bit == 0 {
+		e.touched |= bit
+		a.touchLists[unit] = append(a.touchLists[unit], e)
+	}
 }
 
 func (a *ARB) bankOf(chunk uint32) int { return int(chunk) % a.NumBanks }
@@ -174,6 +193,7 @@ func (a *ARB) Load(unit, head, active int, addr uint32, size int, backing *mem.M
 		}
 		if needTrack && supplier != unit {
 			e.loads[b] |= 1 << uint(unit)
+			a.touch(e, unit)
 		}
 		val = val<<8 | uint64(byteVal)
 	}
@@ -205,6 +225,7 @@ func (a *ARB) Store(unit, head, active int, addr uint32, size int, value uint64)
 		return StoreResult{Violator: -1, Overflow: true}
 	}
 
+	a.touch(e, unit)
 	violator := -1
 	violDist := a.NumUnits + 1
 	for i := size - 1; i >= 0; i-- {
@@ -245,21 +266,21 @@ func (a *ARB) Store(unit, head, active int, addr uint32, size int, value uint64)
 }
 
 // ClearUnit erases all of a squashed unit's load bits, store bits, and
-// buffered data, freeing entries that become empty.
+// buffered data, freeing entries that become empty. Only the entries on
+// the unit's touch list are visited.
 func (a *ARB) ClearUnit(unit int) {
 	bit := uint32(1) << uint(unit)
-	for _, bank := range a.banks {
-		for chunk, e := range bank {
-			for b := 0; b < chunkBytes; b++ {
-				e.loads[b] &^= bit
-				e.stores[b] &^= bit
-			}
-			e.data[unit] = [8]byte{}
-			if e.empty() {
-				delete(bank, chunk)
-			}
+	list := a.touchLists[unit]
+	for _, e := range list {
+		for b := 0; b < chunkBytes; b++ {
+			e.loads[b] &^= bit
+			e.stores[b] &^= bit
 		}
+		e.data[unit] = [8]byte{}
+		e.touched &^= bit
+		a.release(e)
 	}
+	a.touchLists[unit] = list[:0]
 }
 
 // Commit drains the retiring head unit's buffered stores into backing
@@ -268,27 +289,39 @@ func (a *ARB) ClearUnit(unit int) {
 func (a *ARB) Commit(unit int, backing *mem.Memory) int {
 	bit := uint32(1) << uint(unit)
 	written := 0
-	for _, bank := range a.banks {
-		for chunk, e := range bank {
-			wrote := false
-			for b := 0; b < chunkBytes; b++ {
-				if e.stores[b]&bit != 0 {
-					backing.SetByte(e.chunk*chunkBytes+uint32(b), e.data[unit][b])
-					e.stores[b] &^= bit
-					wrote = true
-				}
-				e.loads[b] &^= bit
+	list := a.touchLists[unit]
+	for _, e := range list {
+		wrote := false
+		for b := 0; b < chunkBytes; b++ {
+			if e.stores[b]&bit != 0 {
+				backing.SetByte(e.chunk*chunkBytes+uint32(b), e.data[unit][b])
+				e.stores[b] &^= bit
+				wrote = true
 			}
-			if wrote {
-				written++
-			}
-			e.data[unit] = [8]byte{}
-			if e.empty() {
-				delete(bank, chunk)
-			}
+			e.loads[b] &^= bit
 		}
+		if wrote {
+			written++
+		}
+		e.data[unit] = [8]byte{}
+		e.touched &^= bit
+		a.release(e)
 	}
+	a.touchLists[unit] = list[:0]
 	return written
+}
+
+// release frees an entry's bank slot once no unit holds bits in it. The
+// identity check guards against a stale list reference to an entry whose
+// chunk slot has since been reallocated.
+func (a *ARB) release(e *entry) {
+	if !e.empty() {
+		return
+	}
+	bank := a.banks[a.bankOf(e.chunk)]
+	if bank[e.chunk] == e {
+		delete(bank, e.chunk)
+	}
 }
 
 // View reads memory as `unit` would see it (ARB first, then backing) —
@@ -353,6 +386,9 @@ func (a *ARB) BankFull(addr uint32) bool {
 func (a *ARB) Reset() {
 	for i := range a.banks {
 		a.banks[i] = make(map[uint32]*entry)
+	}
+	for i := range a.touchLists {
+		a.touchLists[i] = a.touchLists[i][:0]
 	}
 	a.Violations, a.Overflows, a.StoreForwards = 0, 0, 0
 	a.LoadsTracked, a.StoresTracked = 0, 0

@@ -20,13 +20,10 @@ type AblationRow struct {
 	Extra   string
 }
 
-// runMSConfig runs one workload's multiscalar binary under cfg, verifying
-// against the oracle; prog may be pre-transformed.
-func runMSConfig(p *isa.Program, cfg core.Config) (*core.Result, error) {
-	want, wout, err := oracleCount(p)
-	if err != nil {
-		return nil, err
-	}
+// runMSConfig runs one multiscalar binary under cfg, verifying against
+// the oracle reference o (the memoized functional run of the same
+// program — or of a semantically equivalent transform of it).
+func runMSConfig(p *isa.Program, o Oracle, cfg core.Config) (*core.Result, error) {
 	env := interp.NewSysEnv()
 	m, err := core.NewMultiscalar(p, env, cfg)
 	if err != nil {
@@ -36,109 +33,90 @@ func runMSConfig(p *isa.Program, cfg core.Config) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if res.Out != wout || res.Committed != want {
+	if res.Out != o.Out || res.Committed != o.ICount {
 		return nil, fmt.Errorf("ablation run diverged from oracle")
 	}
+	recordRun(res)
 	return res, nil
+}
+
+// sweep builds `name` once (memoized), fans the configuration points out
+// over the worker pool, and assembles rows in input order with speedups
+// relative to row 0.
+func sweep(name string, scale Scale, n int, cfgOf func(i int) core.Config,
+	rowOf func(i int, res *core.Result) AblationRow) ([]AblationRow, error) {
+
+	w := workloads.Get(name)
+	if w == nil {
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	p, o, err := buildOracle(w, asm.ModeMultiscalar, scale)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*core.Result, n)
+	err = runJobs(n, func(i int) error {
+		res, err := runMSConfig(p, o, cfgOf(i))
+		results[i] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := results[0].Cycles
+	rows := make([]AblationRow, n)
+	for i, res := range results {
+		rows[i] = rowOf(i, res)
+		rows[i].Cycles = res.Cycles
+		rows[i].Speedup = float64(base) / float64(res.Cycles)
+	}
+	return rows, nil
 }
 
 // UnitSweep measures cycles across unit counts (the window-size knob the
 // whole paradigm turns on).
 func UnitSweep(name string, scale Scale, counts []int) ([]AblationRow, error) {
-	w := workloads.Get(name)
-	if w == nil {
-		return nil, fmt.Errorf("unknown workload %q", name)
-	}
-	p, err := w.Build(asm.ModeMultiscalar, scale.of(w))
-	if err != nil {
-		return nil, err
-	}
-	var rows []AblationRow
-	var base uint64
-	for _, n := range counts {
-		res, err := runMSConfig(p, core.DefaultConfig(n, 1, false))
-		if err != nil {
-			return nil, fmt.Errorf("units=%d: %w", n, err)
-		}
-		if base == 0 {
-			base = res.Cycles
-		}
-		rows = append(rows, AblationRow{
-			Label:   fmt.Sprintf("%d units", n),
-			Cycles:  res.Cycles,
-			Speedup: float64(base) / float64(res.Cycles),
-			Extra:   fmt.Sprintf("pred=%.1f%% squash=%d", 100*res.PredAccuracy(), res.TasksSquashed),
+	return sweep(name, scale, len(counts),
+		func(i int) core.Config { return core.DefaultConfig(counts[i], 1, false) },
+		func(i int, res *core.Result) AblationRow {
+			return AblationRow{
+				Label: fmt.Sprintf("%d units", counts[i]),
+				Extra: fmt.Sprintf("pred=%.1f%% squash=%d", 100*res.PredAccuracy(), res.TasksSquashed),
+			}
 		})
-	}
-	return rows, nil
 }
 
 // RingLatencySweep varies the per-hop forwarding latency (Section 5.1
 // uses 1 cycle).
 func RingLatencySweep(name string, scale Scale, latencies []int) ([]AblationRow, error) {
-	w := workloads.Get(name)
-	if w == nil {
-		return nil, fmt.Errorf("unknown workload %q", name)
-	}
-	p, err := w.Build(asm.ModeMultiscalar, scale.of(w))
-	if err != nil {
-		return nil, err
-	}
-	var rows []AblationRow
-	var base uint64
-	for _, l := range latencies {
-		cfg := core.DefaultConfig(8, 1, false)
-		cfg.RingLatency = l
-		res, err := runMSConfig(p, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("ring=%d: %w", l, err)
-		}
-		if base == 0 {
-			base = res.Cycles
-		}
-		rows = append(rows, AblationRow{
-			Label:   fmt.Sprintf("ring hop %d cycles", l),
-			Cycles:  res.Cycles,
-			Speedup: float64(base) / float64(res.Cycles),
+	return sweep(name, scale, len(latencies),
+		func(i int) core.Config {
+			cfg := core.DefaultConfig(8, 1, false)
+			cfg.RingLatency = latencies[i]
+			return cfg
+		},
+		func(i int, res *core.Result) AblationRow {
+			return AblationRow{Label: fmt.Sprintf("ring hop %d cycles", latencies[i])}
 		})
-	}
-	return rows, nil
 }
 
 // ARBSweep varies ARB capacity under both overflow policies (Section 2.3
 // discusses squash-on-full vs stall-but-head).
 func ARBSweep(name string, scale Scale, entries []int) ([]AblationRow, error) {
-	w := workloads.Get(name)
-	if w == nil {
-		return nil, fmt.Errorf("unknown workload %q", name)
-	}
-	p, err := w.Build(asm.ModeMultiscalar, scale.of(w))
-	if err != nil {
-		return nil, err
-	}
-	var rows []AblationRow
-	var base uint64
-	for _, policy := range []arb.OverflowPolicy{arb.PolicyStall, arb.PolicySquash} {
-		for _, n := range entries {
+	policies := []arb.OverflowPolicy{arb.PolicyStall, arb.PolicySquash}
+	return sweep(name, scale, len(policies)*len(entries),
+		func(i int) core.Config {
 			cfg := core.DefaultConfig(8, 1, false)
-			cfg.ARBEntries = n
-			cfg.ARBPolicy = policy
-			res, err := runMSConfig(p, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("arb=%d/%v: %w", n, policy, err)
+			cfg.ARBEntries = entries[i%len(entries)]
+			cfg.ARBPolicy = policies[i/len(entries)]
+			return cfg
+		},
+		func(i int, res *core.Result) AblationRow {
+			return AblationRow{
+				Label: fmt.Sprintf("%d entries, %v", entries[i%len(entries)], policies[i/len(entries)]),
+				Extra: fmt.Sprintf("overflows=%d arb-squashes=%d", res.ARBOverflows, res.ARBSquashes),
 			}
-			if base == 0 {
-				base = res.Cycles
-			}
-			rows = append(rows, AblationRow{
-				Label:   fmt.Sprintf("%d entries, %v", n, policy),
-				Cycles:  res.Cycles,
-				Speedup: float64(base) / float64(res.Cycles),
-				Extra:   fmt.Sprintf("overflows=%d arb-squashes=%d", res.ARBOverflows, res.ARBSquashes),
-			})
-		}
-	}
-	return rows, nil
+		})
 }
 
 // stripForwarding clears every forward bit and neuters release
@@ -160,23 +138,28 @@ func ForwardingAblation(name string, scale Scale) ([]AblationRow, error) {
 	if w == nil {
 		return nil, fmt.Errorf("unknown workload %q", name)
 	}
-	p, err := w.Build(asm.ModeMultiscalar, scale.of(w))
+	p, o, err := buildOracle(w, asm.ModeMultiscalar, scale)
 	if err != nil {
 		return nil, err
 	}
-	withFwd, err := runMSConfig(p, core.DefaultConfig(8, 1, false))
+	// Forward bits and releases only route values; they never change the
+	// functional outcome or the dynamic instruction count (a release
+	// becomes a nop, which still retires). The original oracle therefore
+	// verifies the stripped clone too.
+	stripped := cloneProgram(p)
+	stripForwarding(stripped)
+
+	results := make([]*core.Result, 2)
+	progs := []*isa.Program{p, stripped}
+	err = runJobs(2, func(i int) error {
+		res, err := runMSConfig(progs[i], o, core.DefaultConfig(8, 1, false))
+		results[i] = res
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	p2, err := w.Build(asm.ModeMultiscalar, scale.of(w))
-	if err != nil {
-		return nil, err
-	}
-	stripForwarding(p2)
-	without, err := runMSConfig(p2, core.DefaultConfig(8, 1, false))
-	if err != nil {
-		return nil, err
-	}
+	withFwd, without := results[0], results[1]
 	return []AblationRow{
 		{Label: "forward bits + releases", Cycles: withFwd.Cycles, Speedup: 1},
 		{Label: "completion flush only", Cycles: without.Cycles,
@@ -187,31 +170,22 @@ func ForwardingAblation(name string, scale Scale) ([]AblationRow, error) {
 // PredictorAblation compares the PAs task predictor against static
 // first-target prediction on 8 units.
 func PredictorAblation(name string, scale Scale) ([]AblationRow, error) {
-	w := workloads.Get(name)
-	if w == nil {
-		return nil, fmt.Errorf("unknown workload %q", name)
-	}
-	p, err := w.Build(asm.ModeMultiscalar, scale.of(w))
-	if err != nil {
-		return nil, err
-	}
-	pas, err := runMSConfig(p, core.DefaultConfig(8, 1, false))
-	if err != nil {
-		return nil, err
-	}
-	cfg := core.DefaultConfig(8, 1, false)
-	cfg.StaticPredict = true
-	static, err := runMSConfig(p, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return []AblationRow{
-		{Label: "PAs two-level predictor", Cycles: pas.Cycles, Speedup: 1,
-			Extra: fmt.Sprintf("pred=%.1f%%", 100*pas.PredAccuracy())},
-		{Label: "static first-target", Cycles: static.Cycles,
-			Speedup: float64(pas.Cycles) / float64(static.Cycles),
-			Extra:   fmt.Sprintf("pred=%.1f%%", 100*static.PredAccuracy())},
-	}, nil
+	return sweep(name, scale, 2,
+		func(i int) core.Config {
+			cfg := core.DefaultConfig(8, 1, false)
+			cfg.StaticPredict = i == 1
+			return cfg
+		},
+		func(i int, res *core.Result) AblationRow {
+			label := "PAs two-level predictor"
+			if i == 1 {
+				label = "static first-target"
+			}
+			return AblationRow{
+				Label: label,
+				Extra: fmt.Sprintf("pred=%.1f%%", 100*res.PredAccuracy()),
+			}
+		})
 }
 
 // FormatAblation renders one sweep.
@@ -228,31 +202,17 @@ func FormatAblation(title string, rows []AblationRow) string {
 // Figure 1 organization) against the shared-FU alternative
 // microarchitecture sketched in Section 2.3, on 8 units.
 func SharedFUAblation(name string, scale Scale) ([]AblationRow, error) {
-	w := workloads.Get(name)
-	if w == nil {
-		return nil, fmt.Errorf("unknown workload %q", name)
-	}
-	p, err := w.Build(asm.ModeMultiscalar, scale.of(w))
-	if err != nil {
-		return nil, err
-	}
-	private, err := runMSConfig(p, core.DefaultConfig(8, 1, false))
-	if err != nil {
-		return nil, err
-	}
-	rows := []AblationRow{{Label: "private FUs (Figure 1)", Cycles: private.Cycles, Speedup: 1}}
-	for _, n := range []int{2, 1} {
-		cfg := core.DefaultConfig(8, 1, false)
-		cfg.SharedFPUnits = n
-		res, err := runMSConfig(p, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("shared=%d: %w", n, err)
-		}
-		rows = append(rows, AblationRow{
-			Label:   fmt.Sprintf("%d shared FP/complex units", n),
-			Cycles:  res.Cycles,
-			Speedup: float64(private.Cycles) / float64(res.Cycles),
+	shared := []int{0, 2, 1} // 0 = private per-unit FUs
+	return sweep(name, scale, len(shared),
+		func(i int) core.Config {
+			cfg := core.DefaultConfig(8, 1, false)
+			cfg.SharedFPUnits = shared[i]
+			return cfg
+		},
+		func(i int, res *core.Result) AblationRow {
+			if shared[i] == 0 {
+				return AblationRow{Label: "private FUs (Figure 1)"}
+			}
+			return AblationRow{Label: fmt.Sprintf("%d shared FP/complex units", shared[i])}
 		})
-	}
-	return rows, nil
 }

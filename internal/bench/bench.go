@@ -12,7 +12,6 @@ import (
 	"multiscalar/internal/asm"
 	"multiscalar/internal/core"
 	"multiscalar/internal/interp"
-	"multiscalar/internal/isa"
 	"multiscalar/internal/pu"
 	"multiscalar/internal/workloads"
 )
@@ -32,17 +31,6 @@ func (s Scale) of(w *workloads.Workload) int {
 	}
 }
 
-// oracleCount runs the interpreter and returns the dynamic instruction
-// count and the reference output.
-func oracleCount(p *isa.Program) (uint64, string, error) {
-	env := interp.NewSysEnv()
-	m := interp.NewMachine(p, env)
-	if err := m.Run(1 << 40); err != nil {
-		return 0, "", err
-	}
-	return m.ICount, env.Out.String(), nil
-}
-
 // Table2Row is one benchmark's dynamic instruction counts.
 type Table2Row struct {
 	Name          string
@@ -53,35 +41,32 @@ type Table2Row struct {
 
 // Table2 measures scalar vs multiscalar dynamic instruction counts.
 func Table2(scale Scale) ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, w := range workloads.All() {
-		n := scale.of(w)
-		sp, err := w.Build(asm.ModeScalar, n)
+	ws := workloads.All()
+	rows := make([]Table2Row, len(ws))
+	err := runJobs(len(ws), func(i int) error {
+		w := ws[i]
+		_, so, err := buildOracle(w, asm.ModeScalar, scale)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("%s scalar: %w", w.Name, err)
 		}
-		mp, err := w.Build(asm.ModeMultiscalar, n)
+		_, mo, err := buildOracle(w, asm.ModeMultiscalar, scale)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("%s multiscalar: %w", w.Name, err)
 		}
-		sc, sout, err := oracleCount(sp)
-		if err != nil {
-			return nil, fmt.Errorf("%s scalar: %w", w.Name, err)
+		if so.Out != mo.Out {
+			return fmt.Errorf("%s: builds disagree on output", w.Name)
 		}
-		mc, mout, err := oracleCount(mp)
-		if err != nil {
-			return nil, fmt.Errorf("%s multiscalar: %w", w.Name, err)
-		}
-		if sout != mout {
-			return nil, fmt.Errorf("%s: builds disagree on output", w.Name)
-		}
-		rows = append(rows, Table2Row{
+		rows[i] = Table2Row{
 			Name:        w.Name,
-			Scalar:      sc,
-			Multi:       mc,
-			PctIncrease: 100 * (float64(mc) - float64(sc)) / float64(sc),
+			Scalar:      so.ICount,
+			Multi:       mo.ICount,
+			PctIncrease: 100 * (float64(mo.ICount) - float64(so.ICount)) / float64(so.ICount),
 			PaperPct:    w.Paper.PctIncrease,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -103,17 +88,13 @@ type PerfRow struct {
 }
 
 // runOne simulates one workload at one configuration, verifying against
-// the oracle.
+// the (memoized) oracle.
 func runOne(w *workloads.Workload, scale Scale, units, width int, ooo bool) (*core.Result, error) {
 	mode := asm.ModeMultiscalar
 	if units <= 1 {
 		mode = asm.ModeScalar
 	}
-	p, err := w.Build(mode, scale.of(w))
-	if err != nil {
-		return nil, err
-	}
-	want, wout, err := oracleCount(p)
+	p, o, err := buildOracle(w, mode, scale)
 	if err != nil {
 		return nil, err
 	}
@@ -133,30 +114,32 @@ func runOne(w *workloads.Workload, scale Scale, units, width int, ooo bool) (*co
 	if err != nil {
 		return nil, fmt.Errorf("%s units=%d width=%d ooo=%v: %w", w.Name, units, width, ooo, err)
 	}
-	if res.Out != wout || res.Committed != want {
+	if res.Out != o.Out || res.Committed != o.ICount {
 		return nil, fmt.Errorf("%s units=%d: diverged from oracle (committed %d vs %d)",
-			w.Name, units, res.Committed, want)
+			w.Name, units, res.Committed, o.ICount)
 	}
+	recordRun(res)
 	return res, nil
 }
 
 // PerfTable computes Table 3 (outOfOrder=false) or Table 4 (true) for one
-// issue width.
+// issue width. The three configurations of every workload are independent
+// simulations and fan out over the worker pool as one flat job list.
 func PerfTable(width int, outOfOrder bool, scale Scale) ([]PerfRow, error) {
-	var rows []PerfRow
-	for _, w := range workloads.All() {
-		srow, err := runOne(w, scale, 1, width, outOfOrder)
-		if err != nil {
-			return nil, err
-		}
-		r4, err := runOne(w, scale, 4, width, outOfOrder)
-		if err != nil {
-			return nil, err
-		}
-		r8, err := runOne(w, scale, 8, width, outOfOrder)
-		if err != nil {
-			return nil, err
-		}
+	ws := workloads.All()
+	unitCounts := []int{1, 4, 8}
+	results := make([]*core.Result, len(ws)*len(unitCounts))
+	err := runJobs(len(results), func(i int) error {
+		res, err := runOne(ws[i/len(unitCounts)], scale, unitCounts[i%len(unitCounts)], width, outOfOrder)
+		results[i] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PerfRow, 0, len(ws))
+	for i, w := range ws {
+		srow, r4, r8 := results[3*i], results[3*i+1], results[3*i+2]
 		paper := w.Paper.InOrder1
 		switch {
 		case !outOfOrder && width == 2:
@@ -225,15 +208,16 @@ type BreakdownRow struct {
 
 // Breakdown computes the cycle distribution at `units` 1-way in-order.
 func Breakdown(units int, scale Scale) ([]BreakdownRow, error) {
-	var rows []BreakdownRow
-	for _, w := range workloads.All() {
-		res, err := runOne(w, scale, units, 1, false)
+	ws := workloads.All()
+	rows := make([]BreakdownRow, len(ws))
+	err := runJobs(len(ws), func(i int) error {
+		res, err := runOne(ws[i], scale, units, 1, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		total := float64(res.Cycles) * float64(units)
-		rows = append(rows, BreakdownRow{
-			Name:       w.Name,
+		rows[i] = BreakdownRow{
+			Name:       ws[i].Name,
 			Units:      units,
 			Compute:    float64(res.Activity[pu.ActCompute]) / total,
 			WaitPred:   float64(res.Activity[pu.ActWaitPred]) / total,
@@ -241,7 +225,11 @@ func Breakdown(units int, scale Scale) ([]BreakdownRow, error) {
 			WaitRetire: float64(res.Activity[pu.ActWaitRetire]) / total,
 			Idle:       float64(res.Activity[pu.ActIdle]) / total,
 			Squashed:   float64(res.SquashedCycles) / total,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

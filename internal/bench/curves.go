@@ -5,21 +5,9 @@ import (
 	"strings"
 
 	"multiscalar/internal/asm"
-	"multiscalar/internal/interp"
-	"multiscalar/internal/isa"
+	"multiscalar/internal/core"
 	"multiscalar/internal/workloads"
 )
-
-// runInterp executes a binary on the interpreter and returns the machine
-// for its counters.
-func runInterp(p *isa.Program) (*interp.Machine, error) {
-	env := interp.NewSysEnv()
-	m := interp.NewMachine(p, env)
-	if err := m.Run(1 << 40); err != nil {
-		return nil, err
-	}
-	return m, nil
-}
 
 // SpeedupCurve is one benchmark's speedup-over-scalar series across unit
 // counts — the figure-style view of Tables 3/4.
@@ -30,21 +18,34 @@ type SpeedupCurve struct {
 }
 
 // SpeedupCurves computes speedup-vs-units for every benchmark at one
-// issue configuration.
+// issue configuration. Every (workload, unit-count) point — plus each
+// workload's scalar baseline — is an independent job on the worker pool.
 func SpeedupCurves(width int, outOfOrder bool, scale Scale, units []int) ([]SpeedupCurve, error) {
-	var curves []SpeedupCurve
-	for _, w := range workloads.All() {
-		base, err := runOne(w, scale, 1, width, outOfOrder)
-		if err != nil {
-			return nil, err
+	ws := workloads.All()
+	stride := len(units) + 1 // job 0 of each workload is the scalar baseline
+	results := make([]*core.Result, len(ws)*stride)
+	err := runJobs(len(results), func(i int) error {
+		w, j := ws[i/stride], i%stride
+		n := 1
+		if j > 0 {
+			n = units[j-1]
 		}
+		res, err := runOne(w, scale, n, width, outOfOrder)
+		if err != nil {
+			return fmt.Errorf("%s units=%d: %w", w.Name, n, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	curves := make([]SpeedupCurve, 0, len(ws))
+	for i, w := range ws {
+		base := results[i*stride]
 		c := SpeedupCurve{Name: w.Name, Units: units}
-		for _, n := range units {
-			res, err := runOne(w, scale, n, width, outOfOrder)
-			if err != nil {
-				return nil, fmt.Errorf("%s units=%d: %w", w.Name, n, err)
-			}
-			c.Speedups = append(c.Speedups, float64(base.Cycles)/float64(res.Cycles))
+		for j := range units {
+			c.Speedups = append(c.Speedups, float64(base.Cycles)/float64(results[i*stride+1+j].Cycles))
 		}
 		curves = append(curves, c)
 	}
@@ -86,25 +87,28 @@ type InstructionMix struct {
 	Loads, Stores, Branches uint64
 }
 
-// Mixes computes the dynamic instruction mix of each multiscalar binary.
+// Mixes computes the dynamic instruction mix of each multiscalar binary
+// straight from the memoized oracle runs.
 func Mixes(scale Scale) ([]InstructionMix, error) {
-	var out []InstructionMix
-	for _, w := range workloads.All() {
-		p, err := w.Build(asm.ModeMultiscalar, scale.of(w))
+	ws := workloads.All()
+	out := make([]InstructionMix, len(ws))
+	err := runJobs(len(ws), func(i int) error {
+		w := ws[i]
+		_, o, err := buildOracle(w, asm.ModeMultiscalar, scale)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("%s: %w", w.Name, err)
 		}
-		m, err := runInterp(p)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
-		}
-		out = append(out, InstructionMix{
+		out[i] = InstructionMix{
 			Name:     w.Name,
-			Total:    m.ICount,
-			Loads:    m.LoadCount,
-			Stores:   m.StoreCount,
-			Branches: m.BranchCount,
-		})
+			Total:    o.ICount,
+			Loads:    o.Loads,
+			Stores:   o.Stores,
+			Branches: o.Branches,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/core"
+	"multiscalar/internal/interp"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/workloads"
+)
+
+// The harness fans independent simulation jobs (one per workload ×
+// configuration point) out over a bounded worker pool. Results land in
+// index-addressed slices, so formatted tables are byte-identical to the
+// sequential path regardless of completion order.
+
+var workers atomic.Int64
+
+func init() { workers.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// SetWorkers bounds the number of concurrent simulation jobs. 1 forces
+// the fully sequential path (the msbench -seq flag); values above
+// GOMAXPROCS buy nothing but are harmless.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	workers.Store(int64(n))
+}
+
+// Workers returns the current job-pool bound.
+func Workers() int { return int(workers.Load()) }
+
+// runJobs runs fn(0..n-1), fanning out across the worker pool. Each fn
+// writes its result into its own slot of a caller-owned slice; runJobs
+// returns the lowest-index error so failures are deterministic too.
+func runJobs(n int, fn func(i int) error) error {
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, w)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Oracle is the functional-simulator reference for one binary: the
+// dynamic instruction counts Table 2 reports and the output every timing
+// run must reproduce.
+type Oracle struct {
+	ICount                  uint64
+	Loads, Stores, Branches uint64
+	Out                     string
+}
+
+type buildKey struct {
+	name  string
+	mode  asm.Mode
+	scale int
+}
+
+type buildEntry struct {
+	once   sync.Once
+	prog   *isa.Program
+	oracle Oracle
+	err    error
+}
+
+var (
+	memoMu sync.Mutex
+	memo   = map[buildKey]*buildEntry{}
+
+	// buildsPerformed counts actual assemble+oracle executions (not memo
+	// hits) — observability for tests and the JSON report.
+	buildsPerformed atomic.Uint64
+)
+
+// buildOracle assembles workload w in the given mode and runs the
+// functional oracle over it, memoized per (workload, mode, resolved
+// scale) for the life of the process. Concurrent first requests
+// single-flight: exactly one goroutine builds, the rest wait and share
+// the result. The returned Program is shared and must not be mutated —
+// clone (cloneProgram) before transforming it.
+func buildOracle(w *workloads.Workload, mode asm.Mode, scale Scale) (*isa.Program, Oracle, error) {
+	key := buildKey{name: w.Name, mode: mode, scale: scale.of(w)}
+	memoMu.Lock()
+	e := memo[key]
+	if e == nil {
+		e = &buildEntry{}
+		memo[key] = e
+	}
+	memoMu.Unlock()
+	e.once.Do(func() {
+		buildsPerformed.Add(1)
+		e.prog, e.oracle, e.err = buildAndRun(w, mode, key.scale)
+	})
+	return e.prog, e.oracle, e.err
+}
+
+func buildAndRun(w *workloads.Workload, mode asm.Mode, scale int) (*isa.Program, Oracle, error) {
+	p, err := w.Build(mode, scale)
+	if err != nil {
+		return nil, Oracle{}, err
+	}
+	env := interp.NewSysEnv()
+	m := interp.NewMachine(p, env)
+	if err := m.Run(1 << 40); err != nil {
+		return nil, Oracle{}, err
+	}
+	return p, Oracle{
+		ICount:   m.ICount,
+		Loads:    m.LoadCount,
+		Stores:   m.StoreCount,
+		Branches: m.BranchCount,
+		Out:      env.Out.String(),
+	}, nil
+}
+
+// ResetMemo drops the build/oracle cache (tests and long-lived hosts).
+func ResetMemo() {
+	memoMu.Lock()
+	memo = map[buildKey]*buildEntry{}
+	memoMu.Unlock()
+}
+
+// BuildsPerformed returns how many assemble+oracle executions have
+// actually run in this process (memo misses).
+func BuildsPerformed() uint64 { return buildsPerformed.Load() }
+
+// cloneProgram returns a copy whose Text may be mutated freely (the
+// ablations transform binaries in place). Data, task descriptors and
+// symbols stay shared: nothing in the repository writes to them.
+func cloneProgram(p *isa.Program) *isa.Program {
+	q := *p
+	q.Text = append([]isa.Instr(nil), p.Text...)
+	return &q
+}
+
+// Aggregate simulated-work counters behind the JSON report's throughput
+// numbers. Every verified timing run adds its cycles and committed
+// instructions.
+var simCycles, simInstrs, simRuns atomic.Uint64
+
+func recordRun(res *core.Result) {
+	simCycles.Add(res.Cycles)
+	simInstrs.Add(res.Committed)
+	simRuns.Add(1)
+}
+
+// SimTotals reports the cumulative simulated work of this process:
+// timing-simulator runs, simulated cycles, and committed instructions.
+func SimTotals() (runs, cycles, instrs uint64) {
+	return simRuns.Load(), simCycles.Load(), simInstrs.Load()
+}

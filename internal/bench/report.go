@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"encoding/json"
+	"runtime"
+	"time"
+)
+
+// Section is one timed phase of a benchmark-harness invocation.
+type Section struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Report is the machine-readable timing/throughput record msbench -json
+// emits. Checked-in BENCH_*.json files built from it form the
+// performance trajectory of the harness itself: compare Seconds and the
+// throughput fields across baselines recorded on the same host.
+type Report struct {
+	Timestamp  string `json:"timestamp"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"`
+	Scale      string `json:"scale"` // "full" or "quick"
+
+	Sections     []Section `json:"sections"`
+	TotalSeconds float64   `json:"total_seconds"`
+
+	// Simulated work completed, summed over every verified timing run.
+	SimRuns         uint64 `json:"sim_runs"`
+	SimCycles       uint64 `json:"sim_cycles"`
+	SimInstructions uint64 `json:"sim_instructions"`
+	// Builds that actually ran (memo misses): assemble + functional
+	// oracle executions.
+	Builds uint64 `json:"builds"`
+
+	// Throughput of the simulators themselves over the whole invocation.
+	MSimCyclesPerSec float64 `json:"msim_cycles_per_sec"`
+	MIPS             float64 `json:"mips"` // committed simulated instrs/sec, millions
+}
+
+// NewReport starts a report for the current process configuration.
+func NewReport(scale Scale) *Report {
+	name := "full"
+	if scale != 0 {
+		name = "quick"
+	}
+	return &Report{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    Workers(),
+		Scale:      name,
+	}
+}
+
+// Time runs fn as a named section and records its wall-clock seconds.
+func (r *Report) Time(name string, fn func()) {
+	start := time.Now()
+	fn()
+	r.Sections = append(r.Sections, Section{Name: name, Seconds: time.Since(start).Seconds()})
+}
+
+// Finalize fills the totals and throughput fields from the process-wide
+// simulation counters and returns the indented JSON encoding.
+func (r *Report) Finalize() ([]byte, error) {
+	r.TotalSeconds = 0
+	for _, s := range r.Sections {
+		r.TotalSeconds += s.Seconds
+	}
+	r.SimRuns, r.SimCycles, r.SimInstructions = SimTotals()
+	r.Builds = BuildsPerformed()
+	if r.TotalSeconds > 0 {
+		r.MSimCyclesPerSec = float64(r.SimCycles) / r.TotalSeconds / 1e6
+		r.MIPS = float64(r.SimInstructions) / r.TotalSeconds / 1e6
+	}
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"testing"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/core"
+	"multiscalar/internal/interp"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/workloads"
+)
+
+// These benchmarks measure the cycle-level simulators themselves — the
+// hot path under every table msbench produces. The mcycles metric is
+// simulated machine cycles per wall-clock second, in millions.
+
+func buildFor(b *testing.B, name string, mode asm.Mode) *isa.Program {
+	b.Helper()
+	w := workloads.Get(name)
+	if w == nil {
+		b.Fatalf("workload %s missing", name)
+	}
+	p, err := w.Build(mode, w.TestScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkScalarCore(b *testing.B) {
+	for _, name := range []string{"wc", "compress"} {
+		b.Run(name, func(b *testing.B) {
+			p := buildFor(b, name, asm.ModeScalar)
+			var cycles uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.NewScalar(p, interp.NewSysEnv(), core.ScalarConfig(1, false)).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Cycles
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds()/1e6, "mcycles/s")
+		})
+	}
+}
+
+func BenchmarkMultiscalarCore8Units(b *testing.B) {
+	for _, name := range []string{"wc", "compress", "tomcatv"} {
+		b.Run(name, func(b *testing.B) {
+			p := buildFor(b, name, asm.ModeMultiscalar)
+			var cycles uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := core.NewMultiscalar(p, interp.NewSysEnv(), core.DefaultConfig(8, 1, false))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := m.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Cycles
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds()/1e6, "mcycles/s")
+		})
+	}
+}

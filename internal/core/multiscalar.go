@@ -16,7 +16,13 @@ type taskState struct {
 	desc       *isa.TaskDescriptor
 	entry      uint32
 	assignedAt uint64
-	sent       map[isa.Reg]sentValue
+
+	// Registers this task has forwarded on the ring, kept for register
+	// file rebuilds after squashes. A mask plus a flat array (rather than
+	// a map) so squash-and-restart resets are a single store and task
+	// assignment allocates nothing per register.
+	sentMask isa.RegMask
+	sentVals [isa.NumRegs]sentValue
 
 	// Prediction bookkeeping for this task's successor, filled when the
 	// successor is chosen.

@@ -110,7 +110,6 @@ func (m *Multiscalar) doAssign(entry uint32, desc *isa.TaskDescriptor, now uint6
 		desc:       desc,
 		entry:      entry,
 		assignedAt: now,
-		sent:       make(map[isa.Reg]sentValue),
 	}
 	m.rebuildRegs(unit, now)
 	m.units[unit].Start(entry, now)
@@ -144,7 +143,8 @@ func (m *Multiscalar) rebuildRegs(unit int, now uint64) {
 		accum = accum.Union(qt.desc.Create)
 		hop := uint64((du - d) * m.cfg.RingLatency)
 		qt.desc.Create.ForEach(func(r isa.Reg) {
-			if sv, ok := qt.sent[r]; ok {
+			if qt.sentMask.Has(r) {
+				sv := qt.sentVals[r]
 				rf.vals[r] = sv.val
 				rf.readyAt[r] = sv.when + hop
 				rf.pending = rf.pending.Clear(r)
@@ -182,7 +182,8 @@ func (m *Multiscalar) forward(p int, now uint64, r isa.Reg, v interp.Value) {
 		m.sendBusy[p] = sc + 1
 	}
 
-	m.tasks[p].sent[r] = sentValue{val: v, when: sc}
+	m.tasks[p].sentVals[r] = sentValue{val: v, when: sc}
+	m.tasks[p].sentMask = m.tasks[p].sentMask.Set(r)
 
 	for d := 1; ; d++ {
 		q := (p + d) % m.cfg.NumUnits
@@ -213,7 +214,7 @@ func (m *Multiscalar) tryFlush(unit int, now uint64) (bool, error) {
 	ts.desc.Create.ForEach(func(r isa.Reg) {
 		if rf.sent.Has(r) {
 			if m.cfg.CheckForwards && err == nil {
-				if sv := ts.sent[r]; sv.val != rf.vals[r] && !rf.pending.Has(r) {
+				if sv := ts.sentVals[r]; sv.val != rf.vals[r] && !rf.pending.Has(r) {
 					err = fmt.Errorf("core: task %s forwarded stale %v: sent %v, final %v",
 						ts.desc.Name, r, sv.val, rf.vals[r])
 				}
@@ -395,7 +396,7 @@ func (m *Multiscalar) memoryViolationSquash(now uint64) {
 		m.tasksSquashed++
 		m.arb.ClearUnit(q)
 		m.units[q].Squash()
-		m.tasks[q].sent = make(map[isa.Reg]sentValue)
+		m.tasks[q].sentMask = 0
 	}
 	for d := first; d < m.active; d++ {
 		q := (m.head + d) % m.cfg.NumUnits
@@ -420,7 +421,7 @@ func (m *Multiscalar) arbOverflowSquash(now uint64) bool {
 	m.arbSquashes++
 	m.arb.ClearUnit(tail)
 	m.units[tail].Squash()
-	m.tasks[tail].sent = make(map[isa.Reg]sentValue)
+	m.tasks[tail].sentMask = 0
 	m.rebuildRegs(tail, now+1)
 	m.units[tail].Start(m.tasks[tail].entry, now+1)
 	return true

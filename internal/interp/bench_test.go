@@ -1,0 +1,37 @@
+package interp_test
+
+import (
+	"testing"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/interp"
+	"multiscalar/internal/workloads"
+)
+
+// BenchmarkInterp measures the functional simulator (the oracle every
+// timing run is verified against) over representative workloads at test
+// scale. The mips metric is simulated committed instructions per second.
+func BenchmarkInterp(b *testing.B) {
+	for _, name := range []string{"wc", "compress", "tomcatv"} {
+		b.Run(name, func(b *testing.B) {
+			w := workloads.Get(name)
+			if w == nil {
+				b.Fatalf("workload %s missing", name)
+			}
+			p, err := w.Build(asm.ModeScalar, w.TestScale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var icount uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := interp.NewMachine(p, interp.NewSysEnv())
+				if err := m.Run(1 << 40); err != nil {
+					b.Fatal(err)
+				}
+				icount += m.ICount
+			}
+			b.ReportMetric(float64(icount)/b.Elapsed().Seconds()/1e6, "mips")
+		})
+	}
+}

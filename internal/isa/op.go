@@ -226,6 +226,45 @@ var opInfos = [numOps]opInfo{
 	OpSyscall: {name: "syscall", class: FUSimpleInt},
 }
 
+// Packed predicate bits derived from opInfos. The predicate methods below
+// sit on the simulators' per-instruction hot path, where a single byte
+// load beats two indexings of the wide opInfo struct.
+const (
+	flagLoad = 1 << iota
+	flagStore
+	flagBranch
+	flagJump
+	flagControl
+	flagImm
+	flagFCC
+)
+
+var opFlags = func() [numOps]uint8 {
+	var f [numOps]uint8
+	for op := Op(0); op < numOps; op++ {
+		in := &opInfos[op]
+		if in.load {
+			f[op] |= flagLoad
+		}
+		if in.store {
+			f[op] |= flagStore
+		}
+		if in.branch {
+			f[op] |= flagBranch | flagControl
+		}
+		if in.jump {
+			f[op] |= flagJump | flagControl
+		}
+		if in.imm {
+			f[op] |= flagImm
+		}
+		if in.setsFCC {
+			f[op] |= flagFCC
+		}
+	}
+	return f
+}()
+
 // Valid reports whether op names a defined operation.
 func (op Op) Valid() bool { return op < numOps && opInfos[op].name != "" }
 
@@ -241,28 +280,28 @@ func (op Op) String() string {
 func (op Op) Class() FUClass { return opInfos[op].class }
 
 // IsLoad reports whether op reads memory.
-func (op Op) IsLoad() bool { return opInfos[op].load }
+func (op Op) IsLoad() bool { return opFlags[op]&flagLoad != 0 }
 
 // IsStore reports whether op writes memory.
-func (op Op) IsStore() bool { return opInfos[op].store }
+func (op Op) IsStore() bool { return opFlags[op]&flagStore != 0 }
 
 // IsMem reports whether op accesses memory.
-func (op Op) IsMem() bool { return opInfos[op].load || opInfos[op].store }
+func (op Op) IsMem() bool { return opFlags[op]&(flagLoad|flagStore) != 0 }
 
 // IsBranch reports whether op is a conditional branch.
-func (op Op) IsBranch() bool { return opInfos[op].branch }
+func (op Op) IsBranch() bool { return opFlags[op]&flagBranch != 0 }
 
 // IsJump reports whether op is an unconditional control transfer.
-func (op Op) IsJump() bool { return opInfos[op].jump }
+func (op Op) IsJump() bool { return opFlags[op]&flagJump != 0 }
 
 // IsControl reports whether op can redirect the program counter.
-func (op Op) IsControl() bool { return opInfos[op].branch || opInfos[op].jump }
+func (op Op) IsControl() bool { return opFlags[op]&flagControl != 0 }
 
 // HasImm reports whether op uses the immediate field.
-func (op Op) HasImm() bool { return opInfos[op].imm }
+func (op Op) HasImm() bool { return opFlags[op]&flagImm != 0 }
 
 // SetsFCC reports whether op writes the FP condition flag.
-func (op Op) SetsFCC() bool { return opInfos[op].setsFCC }
+func (op Op) SetsFCC() bool { return opFlags[op]&flagFCC != 0 }
 
 // MemSize returns the access width in bytes for memory operations, 0 for
 // everything else.

@@ -4,13 +4,24 @@
 // interleaved data banks behind a crossbar.
 package mem
 
+import "bytes"
+
 const pageBits = 12
 const pageSize = 1 << pageBits
 
 // Memory is a sparse, paged, big-endian, byte-addressable store over the
 // full 32-bit address space. The zero value is ready to use.
+//
+// Memory is not safe for concurrent use: even reads update the internal
+// last-page cache. Every simulation run owns its Memory, so this only
+// matters if one instance is shared across goroutines.
 type Memory struct {
 	pages map[uint32]*[pageSize]byte
+
+	// Last-page cache: simulated accesses are heavily page-local, so one
+	// comparison usually replaces the map lookup.
+	lastKey  uint32
+	lastPage *[pageSize]byte
 }
 
 // NewMemory returns an empty memory.
@@ -19,18 +30,25 @@ func NewMemory() *Memory {
 }
 
 func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
+	key := addr >> pageBits
+	if p := m.lastPage; p != nil && m.lastKey == key {
+		return p
+	}
 	if m.pages == nil {
 		if !create {
 			return nil
 		}
 		m.pages = make(map[uint32]*[pageSize]byte)
 	}
-	key := addr >> pageBits
 	p := m.pages[key]
-	if p == nil && create {
+	if p == nil {
+		if !create {
+			return nil
+		}
 		p = new([pageSize]byte)
 		m.pages[key] = p
 	}
+	m.lastKey, m.lastPage = key, p
 	return p
 }
 
@@ -52,7 +70,18 @@ func (m *Memory) SetByte(addr uint32, v byte) {
 // size must be 1, 2, 4 or 8.
 func (m *Memory) ReadN(addr uint32, size int) uint64 {
 	var v uint64
-	for i := 0; i < size; i++ {
+	off := int(addr & (pageSize - 1))
+	if off+size <= pageSize {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		for _, b := range p[off : off+size] {
+			v = v<<8 | uint64(b)
+		}
+		return v
+	}
+	for i := 0; i < size; i++ { // page-crossing access
 		v = v<<8 | uint64(m.Byte(addr+uint32(i)))
 	}
 	return v
@@ -60,7 +89,16 @@ func (m *Memory) ReadN(addr uint32, size int) uint64 {
 
 // WriteN stores the low size bytes of v big-endian at addr.
 func (m *Memory) WriteN(addr uint32, size int, v uint64) {
-	for i := size - 1; i >= 0; i-- {
+	off := int(addr & (pageSize - 1))
+	if off+size <= pageSize {
+		p := m.page(addr, true)
+		for i := size - 1; i >= 0; i-- {
+			p[off+i] = byte(v)
+			v >>= 8
+		}
+		return
+	}
+	for i := size - 1; i >= 0; i-- { // page-crossing access
 		m.SetByte(addr+uint32(i), byte(v))
 		v >>= 8
 	}
@@ -86,8 +124,17 @@ func (m *Memory) WriteBytes(addr uint32, buf []byte) {
 // Bytes copies n bytes starting at addr into a new slice.
 func (m *Memory) Bytes(addr uint32, n int) []byte {
 	out := make([]byte, n)
-	for i := range out {
-		out[i] = m.Byte(addr + uint32(i))
+	for dst := out; len(dst) > 0; {
+		off := int(addr & (pageSize - 1))
+		chunk := pageSize - off
+		if chunk > len(dst) {
+			chunk = len(dst)
+		}
+		if p := m.page(addr, false); p != nil {
+			copy(dst[:chunk], p[off:off+chunk])
+		} // missing pages read as zeros, which out already holds
+		dst = dst[chunk:]
+		addr += uint32(chunk)
 	}
 	return out
 }
@@ -96,12 +143,23 @@ func (m *Memory) Bytes(addr uint32, n int) []byte {
 // bytes.
 func (m *Memory) ReadCString(addr uint32, max int) string {
 	var out []byte
-	for i := 0; i < max; i++ {
-		b := m.Byte(addr + uint32(i))
-		if b == 0 {
-			break
+	for max > 0 {
+		p := m.page(addr, false)
+		if p == nil {
+			return string(out) // an absent page is all NULs
 		}
-		out = append(out, b)
+		off := int(addr & (pageSize - 1))
+		chunk := pageSize - off
+		if chunk > max {
+			chunk = max
+		}
+		seg := p[off : off+chunk]
+		if i := bytes.IndexByte(seg, 0); i >= 0 {
+			return string(append(out, seg[:i]...))
+		}
+		out = append(out, seg...)
+		addr += uint32(chunk)
+		max -= chunk
 	}
 	return string(out)
 }

@@ -1,0 +1,133 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+)
+
+// readNSlow is the reference per-byte implementation ReadN must match.
+func readNSlow(m *Memory, addr uint32, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v = v<<8 | uint64(m.Byte(addr+uint32(i)))
+	}
+	return v
+}
+
+func TestReadWriteNCrossPage(t *testing.T) {
+	m := NewMemory()
+	for _, size := range []int{1, 2, 4, 8} {
+		for delta := -8; delta <= 0; delta++ {
+			addr := uint32(3*pageSize) + uint32(pageSize+delta)
+			v := uint64(0x1122334455667788)
+			m.WriteN(addr, size, v)
+			want := v
+			if size < 8 {
+				want = v & (1<<(8*size) - 1)
+			}
+			if got := m.ReadN(addr, size); got != want {
+				t.Errorf("size %d at page offset %d: ReadN = %#x, want %#x", size, delta, got, want)
+			}
+			if got := readNSlow(m, addr, size); got != want {
+				t.Errorf("size %d at page offset %d: per-byte read = %#x, want %#x", size, delta, got, want)
+			}
+		}
+	}
+}
+
+func TestReadNUnmappedPage(t *testing.T) {
+	m := NewMemory()
+	if got := m.ReadN(0x5000, 8); got != 0 {
+		t.Errorf("unmapped ReadN = %#x", got)
+	}
+	// Crossing from a mapped into an unmapped page.
+	m.SetByte(pageSize-1, 0xab)
+	if got := m.ReadN(pageSize-1, 2); got != 0xab00 {
+		t.Errorf("boundary ReadN = %#x, want 0xab00", got)
+	}
+}
+
+func TestBytesCrossPageAndHoles(t *testing.T) {
+	m := NewMemory()
+	// Write into pages 1 and 3, leaving page 2 a hole.
+	m.WriteBytes(pageSize-4, []byte{1, 2, 3, 4, 5, 6})
+	m.WriteBytes(3*pageSize, []byte{7, 8})
+	got := m.Bytes(pageSize-4, 2*pageSize+8)
+	want := make([]byte, 2*pageSize+8)
+	for i := range want {
+		want[i] = m.Byte(pageSize - 4 + uint32(i))
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("Bytes disagrees with per-byte reads across pages and holes")
+	}
+	if got[0] != 1 || got[5] != 6 {
+		t.Errorf("mapped prefix = %v", got[:6])
+	}
+}
+
+func TestReadCStringCrossPage(t *testing.T) {
+	m := NewMemory()
+	long := bytes.Repeat([]byte("x"), pageSize+10)
+	addr := uint32(2*pageSize - 5)
+	m.WriteBytes(addr, append(long, 0))
+	if got := m.ReadCString(addr, 1<<20); got != string(long) {
+		t.Errorf("cross-page cstring: len %d, want %d", len(got), len(long))
+	}
+	// max truncates before the terminator.
+	if got := m.ReadCString(addr, 7); got != "xxxxxxx" {
+		t.Errorf("truncated cstring = %q", got)
+	}
+	// Terminator exactly at a page boundary.
+	m2 := NewMemory()
+	m2.WriteBytes(pageSize-3, []byte("abc"))
+	if got := m2.ReadCString(pageSize-3, 100); got != "abc" {
+		t.Errorf("boundary cstring = %q", got)
+	}
+	// String running into an absent page terminates (absent = NULs).
+	m3 := NewMemory()
+	m3.WriteBytes(pageSize-2, []byte("hi"))
+	if got := m3.ReadCString(pageSize-2, 100); got != "hi" {
+		t.Errorf("hole-terminated cstring = %q", got)
+	}
+}
+
+func TestLastPageCacheCoherent(t *testing.T) {
+	m := NewMemory()
+	m.WriteWord(0x1000, 0x01020304)
+	_ = m.ReadWord(0x1000) // warm the last-page cache
+	m.WriteWord(0x1000+pageSize, 0x0a0b0c0d)
+	if got := m.ReadWord(0x1000); got != 0x01020304 {
+		t.Errorf("first page = %#x", got)
+	}
+	if got := m.ReadWord(0x1000 + pageSize); got != 0x0a0b0c0d {
+		t.Errorf("second page = %#x", got)
+	}
+}
+
+func BenchmarkReadWord(b *testing.B) {
+	m := NewMemory()
+	m.WriteBytes(0, make([]byte, 4*pageSize))
+	b.ResetTimer()
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink += m.ReadWord(uint32(i*4) % (4 * pageSize))
+	}
+	_ = sink
+}
+
+func BenchmarkWriteWord(b *testing.B) {
+	m := NewMemory()
+	for i := 0; i < b.N; i++ {
+		m.WriteWord(uint32(i*4)%(4*pageSize), uint32(i))
+	}
+}
+
+func BenchmarkBytes4K(b *testing.B) {
+	m := NewMemory()
+	m.WriteBytes(100, make([]byte, 8192))
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Bytes(100, 4096)
+	}
+}

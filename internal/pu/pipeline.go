@@ -245,6 +245,9 @@ func (u *Unit) tryIssue(now uint64, idx int, e *robEntry, fuUsed *[isa.NumFUClas
 	}
 
 	e.state = stIssued
+	if e.doneAt < u.nextDone {
+		u.nextDone = e.doneAt
+	}
 	fuUsed[class]++
 	return true, nil
 }
@@ -254,7 +257,7 @@ func (u *Unit) dispatch(now uint64) {
 	n := 0
 	for n < u.cfg.IssueWidth && len(u.fetchQ) > 0 && len(u.rob) < u.cfg.ROBSize {
 		f := u.fetchQ[0]
-		u.fetchQ = u.fetchQ[1:]
+		u.fetchQ = u.fetchQ[:copy(u.fetchQ, u.fetchQ[1:])]
 		u.rob = append(u.rob, robEntry{
 			addr:          f.addr,
 			instr:         f.instr,

@@ -149,6 +149,11 @@ type Unit struct {
 
 	// Window.
 	rob []robEntry
+	// nextDone is a lower bound on the earliest doneAt of any issued
+	// entry (^0 when none), so complete can skip its ROB scan on cycles
+	// where nothing can finish. Entry removal (retire, flush, squash) may
+	// leave it stale-low, which only costs a wasted scan.
+	nextDone uint64
 
 	committedFCC bool
 
@@ -192,6 +197,10 @@ func New(id int, cfg Config, prog *isa.Program, ext Ext) *Unit {
 		ext:  ext,
 		bp:   predict.NewBranchPredictor(cfg.BranchEntries),
 		prog: prog,
+		// Preallocated to their architectural capacities; the dequeue
+		// paths shift in place so these never reallocate.
+		fetchQ: make([]fetchedInstr, 0, cfg.FetchQSize),
+		rob:    make([]robEntry, 0, cfg.ROBSize),
 	}
 	if s, ok := ext.(SharedFUs); ok {
 		u.shared = s
@@ -226,6 +235,7 @@ func (u *Unit) Start(entry uint32, now uint64) {
 	u.fetchGroup = ^uint32(0)
 	u.fetchReady = 0
 	u.rob = u.rob[:0]
+	u.nextDone = ^uint64(0)
 	u.done = false
 	u.exitPC = 0
 	u.exitByRet = false
@@ -241,6 +251,7 @@ func (u *Unit) Squash() {
 	u.active = false
 	u.fetchQ = u.fetchQ[:0]
 	u.rob = u.rob[:0]
+	u.nextDone = ^uint64(0)
 	u.done = false
 }
 
@@ -288,9 +299,16 @@ func (u *Unit) classify() Activity {
 // complete transitions issued entries whose latency has elapsed to done,
 // handling branch resolution and local mis-speculation recovery.
 func (u *Unit) complete(now uint64) {
+	if now < u.nextDone {
+		return
+	}
+	next := ^uint64(0)
 	for i := 0; i < len(u.rob); i++ {
 		e := &u.rob[i]
 		if e.state != stIssued || e.doneAt > now {
+			if e.state == stIssued && e.doneAt < next {
+				next = e.doneAt
+			}
 			continue
 		}
 		e.state = stDone
@@ -306,6 +324,7 @@ func (u *Unit) complete(now uint64) {
 			}
 		}
 	}
+	u.nextDone = next
 }
 
 // stopResolvable reports whether this entry can end the task.
@@ -404,7 +423,7 @@ func (u *Unit) retire(now uint64) error {
 		stop := e.stopHit
 		exitPC := e.actualNext
 		byRet := in.Op == isa.OpJr
-		u.rob = u.rob[1:]
+		u.rob = u.rob[:copy(u.rob, u.rob[1:])] // shift in place: keeps the preallocated capacity
 		if stop {
 			u.done = true
 			u.exitPC = exitPC
