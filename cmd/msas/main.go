@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"multiscalar"
 	"multiscalar/internal/asm"
 	"multiscalar/internal/isa"
 )
@@ -39,11 +40,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	mode := asm.ModeMultiscalar
-	if *modeFlag == "scalar" {
-		mode = asm.ModeScalar
+	opts := []multiscalar.AssembleOption{}
+	if *modeFlag != "scalar" {
+		opts = append(opts, multiscalar.WithMode(multiscalar.ModeMultiscalar))
 	}
-	res, err := asm.AssembleOpts(string(src), asm.Options{Mode: mode, NoLint: *lintFlag == "off"})
+	if *lintFlag == "off" {
+		opts = append(opts, multiscalar.WithoutLint())
+	}
+	res, err := multiscalar.Assemble(string(src), opts...)
 	if err != nil {
 		// A lint rejection still carries the full report; show every
 		// finding, not just the folded error.

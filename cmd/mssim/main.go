@@ -29,6 +29,8 @@ func main() {
 		ooo      = flag.Bool("ooo", false, "out-of-order issue within units")
 		list     = flag.Bool("list", false, "list benchmark names")
 		trace    = flag.Bool("trace", false, "print a per-cycle pipeline trace (multiscalar only)")
+		mstrc    = flag.String("mstrc", "", "record an event trace to this .mstrc file (render with mstrace)")
+		stdin    = flag.Bool("stdin", false, "feed standard input to the program (read-char syscall)")
 		showOut  = flag.Bool("out", false, "print the program's output")
 	)
 	flag.Parse()
@@ -46,8 +48,13 @@ func main() {
 		fatal(err)
 	}
 
+	var runOpts []multiscalar.RunOption
+	if *stdin {
+		runOpts = append(runOpts, multiscalar.WithStdin(os.Stdin))
+	}
+
 	if *units <= 0 {
-		res, err := multiscalar.Interpret(prog, 1<<40)
+		res, err := multiscalar.Interpret(prog, runOpts...)
 		if err != nil {
 			fatal(err)
 		}
@@ -67,7 +74,27 @@ func main() {
 			cfg.Trace = os.Stdout
 		}
 	}
-	res, err := multiscalar.Verify(prog, cfg)
+	opts := append(runOpts, multiscalar.WithVerify())
+	if *mstrc != "" {
+		f, err := os.Create(*mstrc)
+		if err != nil {
+			fatal(err)
+		}
+		tw, err := multiscalar.NewTraceWriter(f, prog, cfg, label(*workload, *file))
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := tw.Close(); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		opts = append(opts, multiscalar.WithTrace(tw))
+	}
+	res, err := multiscalar.Run(prog, cfg, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -125,7 +152,18 @@ func buildProgram(workload, file string, scale, units int) (*multiscalar.Program
 	if err != nil {
 		return nil, err
 	}
-	return multiscalar.Assemble(string(src), mode)
+	res, err := multiscalar.Assemble(string(src), multiscalar.WithMode(mode))
+	if err != nil {
+		return nil, err
+	}
+	return res.Prog, nil
+}
+
+func label(workload, file string) string {
+	if workload != "" {
+		return workload
+	}
+	return file
 }
 
 func fatal(err error) {

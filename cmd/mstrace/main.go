@@ -1,0 +1,382 @@
+// mstrace records and renders event traces of multiscalar simulations
+// (docs/tracing.md). It either re-runs a workload or assembly file with
+// tracing enabled, or reads a previously recorded .mstrc file, and
+// renders a per-task timeline (default), a per-task/per-unit cycle
+// decomposition (-metrics), raw events (-events), or Chrome trace_event
+// JSON loadable in Perfetto (-perfetto).
+//
+// Usage:
+//
+//	mstrace -w example -units 8                record and show the timeline
+//	mstrace -w example -o example.mstrc        record to a file
+//	mstrace -i example.mstrc -metrics          render a recorded trace
+//	mstrace -i example.mstrc -perfetto t.json  export for ui.perfetto.dev
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"multiscalar"
+	"multiscalar/internal/pu"
+	"multiscalar/internal/trace"
+)
+
+func main() {
+	var (
+		input    = flag.String("i", "", "read a recorded .mstrc trace instead of simulating")
+		workload = flag.String("w", "", "benchmark name to trace (see mssim -list)")
+		file     = flag.String("f", "", "assembly source file to trace")
+		scale    = flag.Int("scale", 0, "problem scale (0 = workload default)")
+		units    = flag.Int("units", 8, "processing units (1 = scalar baseline)")
+		width    = flag.Int("width", 1, "issue width per unit")
+		ooo      = flag.Bool("ooo", false, "out-of-order issue within units")
+		output   = flag.String("o", "", "write the recorded trace to this .mstrc file")
+		metrics  = flag.Bool("metrics", false, "print the per-task / per-unit cycle decomposition")
+		events   = flag.Bool("events", false, "dump the raw event stream")
+		perfetto = flag.String("perfetto", "", "write Chrome trace_event JSON to this file")
+	)
+	flag.Parse()
+
+	tr, err := obtain(*input, *workload, *file, *scale, *units, *width, *ooo, *output)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *events:
+		for _, e := range tr.Events {
+			fmt.Println(e)
+		}
+	case *metrics:
+		renderMetrics(tr)
+	case *perfetto != "":
+		// handled below
+	default:
+		renderTimeline(tr)
+	}
+	if *perfetto != "" {
+		if err := writePerfetto(*perfetto, tr); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mstrace: wrote %s (open in ui.perfetto.dev)\n", *perfetto)
+	}
+}
+
+// obtain loads a trace from a file or records one by simulating.
+func obtain(input, workload, file string, scale, units, width int, ooo bool, output string) (*trace.Trace, error) {
+	if input != "" {
+		f, err := os.Open(input)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return multiscalar.ReadTrace(f)
+	}
+
+	prog, label, err := build(workload, file, scale, units)
+	if err != nil {
+		return nil, err
+	}
+	var cfg multiscalar.Config
+	if units <= 1 {
+		cfg = multiscalar.ScalarConfig(width, ooo)
+	} else {
+		cfg = multiscalar.DefaultConfig(units, width, ooo)
+	}
+	col := &multiscalar.TraceCollector{}
+	if _, err := multiscalar.Run(prog, cfg, multiscalar.WithTrace(col), multiscalar.WithVerify()); err != nil {
+		return nil, err
+	}
+	tr := &trace.Trace{Meta: multiscalar.TraceMetaFor(prog, cfg, label), Events: col.Events}
+	if output != "" {
+		if err := save(output, tr); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "mstrace: wrote %s (%d events)\n", output, len(tr.Events))
+	}
+	return tr, nil
+}
+
+func build(workload, file string, scale, units int) (*multiscalar.Program, string, error) {
+	mode := multiscalar.ModeMultiscalar
+	if units <= 1 {
+		mode = multiscalar.ModeScalar
+	}
+	if workload != "" {
+		w := multiscalar.GetWorkload(workload)
+		if w == nil {
+			return nil, "", fmt.Errorf("unknown workload %q (try mssim -list)", workload)
+		}
+		p, err := w.Build(mode, scale)
+		return p, workload, err
+	}
+	if file == "" {
+		return nil, "", fmt.Errorf("one of -i, -w or -f is required")
+	}
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return nil, "", err
+	}
+	res, err := multiscalar.Assemble(string(src), multiscalar.WithMode(mode))
+	if err != nil {
+		return nil, "", err
+	}
+	return res.Prog, file, nil
+}
+
+func save(path string, tr *trace.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w, err := trace.NewWriter(f, tr.Meta)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for _, e := range tr.Events {
+		w.Emit(e)
+	}
+	if err := w.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// renderTimeline prints one row per task: lifecycle milestones, outcome,
+// and a proportional lane diagram of its activations.
+func renderTimeline(tr *trace.Trace) {
+	s := trace.Summarize(tr)
+	fmt.Printf("%s: %d units, %d cycles, %d tasks\n\n",
+		labelOf(tr), tr.Meta.NumUnits, s.Cycles, len(s.Tasks))
+	const lanes = 60
+	fmt.Printf("%5s %-14s %4s %9s %9s %9s  %-18s %s\n",
+		"task", "name", "unit", "assigned", "1st-issue", "end", "outcome", "activity")
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		issue := "-"
+		if t.HasIssue {
+			issue = fmt.Sprint(t.FirstIssue)
+		}
+		fmt.Printf("%5d %-14s %4d %9d %9s %9d  %-18s %s\n",
+			t.Seq, nameOf(tr, t), t.Unit, t.Assigned, issue, t.EndCycle,
+			outcome(t), lane(t, s.Cycles, lanes))
+	}
+}
+
+// outcome renders how a task ended.
+func outcome(t *trace.TaskSummary) string {
+	if t.Retired {
+		if t.Restarts > 0 {
+			return fmt.Sprintf("retire %d (re-run %d)", t.Instrs, t.Restarts)
+		}
+		return fmt.Sprintf("retire %d", t.Instrs)
+	}
+	return fmt.Sprintf("squash %s d=%d", trace.CauseName(t.SquashCause), t.SquashDist)
+}
+
+// lane draws the task's activations on a fixed-width strip: '=' for
+// cycles that committed, '~' for squashed activations.
+func lane(t *trace.TaskSummary, cycles uint64, width int) string {
+	if cycles == 0 {
+		return ""
+	}
+	b := []byte(strings.Repeat(".", width))
+	for _, sp := range t.Spans {
+		lo := int(sp.Start * uint64(width) / cycles)
+		hi := int(sp.End * uint64(width) / cycles)
+		if hi >= width {
+			hi = width - 1
+		}
+		c := byte('=')
+		if sp.Squashed {
+			c = '~'
+		}
+		for i := lo; i <= hi && i >= 0; i++ {
+			b[i] = c
+		}
+	}
+	return string(b)
+}
+
+// renderMetrics prints the per-task and per-unit decomposition of the
+// run's unit-cycles — the trace-level view of Result.Activity.
+func renderMetrics(tr *trace.Trace) {
+	s := trace.Summarize(tr)
+	fmt.Printf("%s: %d units, %d cycles\n\n", labelOf(tr), tr.Meta.NumUnits, s.Cycles)
+
+	classes := []pu.Activity{pu.ActCompute, pu.ActWaitPred, pu.ActWaitIntra, pu.ActWaitRetire}
+	heads := []string{"compute", "wait-pred", "wait-intra", "wait-retire"}
+
+	fmt.Printf("per task:\n%5s %-14s %4s", "task", "name", "unit")
+	for _, h := range heads {
+		fmt.Printf(" %11s", h)
+	}
+	fmt.Printf(" %11s  %s\n", "squashed", "outcome")
+	var totals [pu.NumActivities]uint64
+	var totalSquashed uint64
+	perUnit := map[int8]*unitRow{}
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		fmt.Printf("%5d %-14s %4d", t.Seq, nameOf(tr, t), t.Unit)
+		for _, c := range classes {
+			fmt.Printf(" %11d", t.Activity[c])
+			totals[c] += t.Activity[c]
+		}
+		totalSquashed += t.SquashedCycles
+		fmt.Printf(" %11d  %s\n", t.SquashedCycles, outcome(t))
+		u := perUnit[t.Unit]
+		if u == nil {
+			u = &unitRow{}
+			perUnit[t.Unit] = u
+		}
+		u.tasks++
+		for _, c := range classes {
+			u.act[c] += t.Activity[c]
+		}
+		u.squashed += t.SquashedCycles
+	}
+	fmt.Printf("%5s %-14s %4s", "", "total", "")
+	for _, c := range classes {
+		fmt.Printf(" %11d", totals[c])
+	}
+	fmt.Printf(" %11d\n", totalSquashed)
+
+	fmt.Printf("\nper unit:\n%4s %6s", "unit", "tasks")
+	for _, h := range heads {
+		fmt.Printf(" %11s", h)
+	}
+	fmt.Printf(" %11s %11s\n", "squashed", "idle+other")
+	unitIDs := make([]int8, 0, len(perUnit))
+	for id := range perUnit {
+		unitIDs = append(unitIDs, id)
+	}
+	sort.Slice(unitIDs, func(i, j int) bool { return unitIDs[i] < unitIDs[j] })
+	for _, id := range unitIDs {
+		u := perUnit[id]
+		var used uint64
+		fmt.Printf("%4d %6d", id, u.tasks)
+		for _, c := range classes {
+			fmt.Printf(" %11d", u.act[c])
+			used += u.act[c]
+		}
+		used += u.squashed
+		idle := uint64(0)
+		if s.Cycles > used {
+			idle = s.Cycles - used
+		}
+		fmt.Printf(" %11d %11d\n", u.squashed, idle)
+	}
+}
+
+type unitRow struct {
+	tasks    int
+	act      [pu.NumActivities]uint64
+	squashed uint64
+}
+
+// chromeEvent is one Chrome trace_event record (the subset Perfetto
+// reads: complete spans, instants, and thread-name metadata).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    uint64         `json:"ts"`
+	Dur   uint64         `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// writePerfetto exports one track per processing unit: task activations
+// as complete spans (1 cycle = 1 µs) plus instants for squashes and
+// memory-order violations.
+func writePerfetto(path string, tr *trace.Trace) error {
+	s := trace.Summarize(tr)
+	var evs []chromeEvent
+	evs = append(evs, chromeEvent{
+		Name: "process_name", Phase: "M", PID: 1,
+		Args: map[string]any{"name": "multiscalar " + labelOf(tr)},
+	})
+	for u := 0; u < tr.Meta.NumUnits; u++ {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: u,
+			Args: map[string]any{"name": fmt.Sprintf("PU %d", u)},
+		})
+	}
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		name := nameOf(tr, t)
+		if name == "" {
+			name = fmt.Sprintf("0x%x", t.Entry)
+		}
+		for _, sp := range t.Spans {
+			dur := sp.End - sp.Start
+			if dur == 0 {
+				dur = 1
+			}
+			outcome := "retired"
+			if sp.Squashed {
+				outcome = "squashed (" + trace.CauseName(sp.Cause) + ")"
+			}
+			evs = append(evs, chromeEvent{
+				Name: fmt.Sprintf("%s #%d", name, t.Seq), Phase: "X",
+				TS: sp.Start, Dur: dur, PID: 1, TID: int(sp.Unit),
+				Args: map[string]any{
+					"task":    t.Seq,
+					"entry":   fmt.Sprintf("0x%x", t.Entry),
+					"outcome": outcome,
+				},
+			})
+			if sp.Squashed {
+				evs = append(evs, chromeEvent{
+					Name: "squash " + trace.CauseName(sp.Cause), Phase: "i",
+					TS: sp.End, PID: 1, TID: int(sp.Unit), Scope: "t",
+				})
+			}
+		}
+	}
+	for _, e := range tr.Events {
+		if e.Kind == trace.KARBViolation {
+			evs = append(evs, chromeEvent{
+				Name: fmt.Sprintf("violation @0x%x", e.Arg), Phase: "i",
+				TS: e.Cycle, PID: 1, TID: int(e.Unit), Scope: "t",
+			})
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(map[string]any{"traceEvents": evs}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func labelOf(tr *trace.Trace) string {
+	if tr.Meta.Label != "" {
+		return tr.Meta.Label
+	}
+	return "trace"
+}
+
+func nameOf(tr *trace.Trace, t *trace.TaskSummary) string {
+	if n := t.Name(&tr.Meta); n != "" {
+		return n
+	}
+	return fmt.Sprintf("0x%x", t.Entry)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mstrace:", err)
+	os.Exit(1)
+}

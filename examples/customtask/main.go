@@ -60,10 +60,11 @@ scale:
 `
 
 func main() {
-	prog, err := multiscalar.Assemble(src, multiscalar.ModeMultiscalar)
+	res, err := multiscalar.Assemble(src, multiscalar.WithMode(multiscalar.ModeMultiscalar))
 	if err != nil {
 		log.Fatal(err)
 	}
+	prog := res.Prog
 	if len(prog.Tasks) != 0 {
 		log.Fatal("expected an un-annotated program")
 	}
@@ -79,19 +80,19 @@ func main() {
 	}
 
 	// The scalar baseline runs the plain build (no tag bits).
-	scProg, err := multiscalar.Assemble(src, multiscalar.ModeScalar)
+	sc, err := multiscalar.Assemble(src)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sres, err := multiscalar.Verify(scProg, multiscalar.ScalarConfig(1, false))
+	sres, err := multiscalar.Run(sc.Prog, multiscalar.ScalarConfig(1, false), multiscalar.WithVerify())
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := multiscalar.Verify(prog, multiscalar.DefaultConfig(8, 1, false))
+	mres, err := multiscalar.Run(prog, multiscalar.DefaultConfig(8, 1, false), multiscalar.WithVerify())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nscalar: %d cycles; 8 units: %d cycles (speedup %.2f)\n",
-		sres.Cycles, res.Cycles, res.Speedup(sres))
-	fmt.Printf("output: %s\n", res.Out)
+		sres.Cycles, mres.Cycles, mres.Speedup(sres))
+	fmt.Printf("output: %s\n", mres.Out)
 }

@@ -45,24 +45,26 @@ done:
 func main() {
 	// One source, two binaries: the scalar build strips all multiscalar
 	// information.
-	msProg, err := multiscalar.Assemble(src, multiscalar.ModeMultiscalar)
+	ms, err := multiscalar.Assemble(src, multiscalar.WithMode(multiscalar.ModeMultiscalar))
 	if err != nil {
 		log.Fatal(err)
 	}
-	scProg, err := multiscalar.Assemble(src, multiscalar.ModeScalar)
+	sc, err := multiscalar.Assemble(src)
 	if err != nil {
 		log.Fatal(err)
 	}
+	msProg, scProg := ms.Prog, sc.Prog
 
 	// Functional oracle.
-	oracle, err := multiscalar.Interpret(msProg, 1<<30)
+	oracle, err := multiscalar.Interpret(msProg, multiscalar.WithMaxInstrs(1<<30))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("oracle:      output=%q, %d instructions\n", oracle.Out, oracle.Instructions)
 
-	// Scalar baseline (1-way in-order, 1-cycle dcache).
-	sres, err := multiscalar.Verify(scProg, multiscalar.ScalarConfig(1, false))
+	// Scalar baseline (1-way in-order, 1-cycle dcache); WithVerify checks
+	// every timing run against the oracle.
+	sres, err := multiscalar.Run(scProg, multiscalar.ScalarConfig(1, false), multiscalar.WithVerify())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,7 +72,7 @@ func main() {
 
 	// Multiscalar with 2, 4, 8 units.
 	for _, units := range []int{2, 4, 8} {
-		res, err := multiscalar.Verify(msProg, multiscalar.DefaultConfig(units, 1, false))
+		res, err := multiscalar.Run(msProg, multiscalar.DefaultConfig(units, 1, false), multiscalar.WithVerify())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"multiscalar/internal/mem"
+	"multiscalar/internal/trace"
 )
 
 // MaxUnits bounds the number of processing units an ARB can track.
@@ -67,6 +68,13 @@ type ARB struct {
 	NumBanks       int
 	EntriesPerBank int
 	Policy         OverflowPolicy
+
+	// Sink, when non-nil, receives allocation, overflow and violation
+	// events. The ARB's operations carry no cycle themselves, so the
+	// owning machine keeps Now at the current simulation cycle whenever a
+	// sink is attached.
+	Sink trace.Sink
+	Now  uint64
 
 	banks []map[uint32]*entry
 
@@ -134,10 +142,16 @@ func (a *ARB) alloc(chunk uint32) (*entry, bool) {
 	}
 	if len(bank) >= a.EntriesPerBank {
 		a.Overflows++
+		if a.Sink != nil {
+			a.Sink.Emit(trace.Event{Cycle: a.Now, Kind: trace.KARBOverflow, Unit: -1, Task: -1, Arg: chunk * chunkBytes})
+		}
 		return nil, false
 	}
 	e := &entry{chunk: chunk}
 	bank[chunk] = e
+	if a.Sink != nil {
+		a.Sink.Emit(trace.Event{Cycle: a.Now, Kind: trace.KARBAlloc, Unit: -1, Task: -1, Arg: chunk * chunkBytes})
+	}
 	return e, true
 }
 
@@ -260,6 +274,9 @@ func (a *ARB) Store(unit, head, active int, addr uint32, size int, value uint64)
 	}
 	if violator >= 0 {
 		a.Violations++
+		if a.Sink != nil {
+			a.Sink.Emit(trace.Event{Cycle: a.Now, Kind: trace.KARBViolation, Unit: int8(violator), Task: -1, Arg: addr})
+		}
 	}
 	a.StoresTracked++
 	return StoreResult{Violator: violator}

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"strings"
 
+	"multiscalar"
 	"multiscalar/internal/arb"
 	"multiscalar/internal/asm"
 	"multiscalar/internal/core"
-	"multiscalar/internal/interp"
 	"multiscalar/internal/isa"
 	"multiscalar/internal/workloads"
 )
@@ -24,12 +24,7 @@ type AblationRow struct {
 // the oracle reference o (the memoized functional run of the same
 // program — or of a semantically equivalent transform of it).
 func runMSConfig(p *isa.Program, o Oracle, cfg core.Config) (*core.Result, error) {
-	env := interp.NewSysEnv()
-	m, err := core.NewMultiscalar(p, env, cfg)
-	if err != nil {
-		return nil, err
-	}
-	res, err := m.Run()
+	res, err := multiscalar.Run(p, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -9,9 +9,9 @@ import (
 	"fmt"
 	"strings"
 
+	"multiscalar"
 	"multiscalar/internal/asm"
 	"multiscalar/internal/core"
-	"multiscalar/internal/interp"
 	"multiscalar/internal/pu"
 	"multiscalar/internal/workloads"
 )
@@ -98,19 +98,15 @@ func runOne(w *workloads.Workload, scale Scale, units, width int, ooo bool) (*co
 	if err != nil {
 		return nil, err
 	}
-	env := interp.NewSysEnv()
-	var res *core.Result
+	// Verification is against the memoized oracle below, not WithVerify
+	// (which would re-interpret the program on every configuration).
+	var cfg core.Config
 	if units <= 1 {
-		cfg := core.ScalarConfig(width, ooo)
-		res, err = core.NewScalar(p, env, cfg).Run()
+		cfg = core.ScalarConfig(width, ooo)
 	} else {
-		cfg := core.DefaultConfig(units, width, ooo)
-		m, nerr := core.NewMultiscalar(p, env, cfg)
-		if nerr != nil {
-			return nil, nerr
-		}
-		res, err = m.Run()
+		cfg = core.DefaultConfig(units, width, ooo)
 	}
+	res, err := multiscalar.Run(p, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s units=%d width=%d ooo=%v: %w", w.Name, units, width, ooo, err)
 	}

@@ -9,6 +9,7 @@ import (
 
 	"multiscalar/internal/arb"
 	"multiscalar/internal/isa"
+	"multiscalar/internal/trace"
 )
 
 // Config describes one machine configuration. The defaults reproduce
@@ -66,6 +67,13 @@ type Config struct {
 	// pointer, active count, and a glyph per unit (. idle, * compute,
 	// p wait-pred, m wait-intra, r wait-retire), ordered physically.
 	Trace io.Writer
+
+	// Sink, when non-nil, receives the typed cycle-stamped event stream
+	// (task lifecycle, unit occupancy, ring, ARB, memory system) defined
+	// in internal/trace — see docs/tracing.md. Nil leaves every producer
+	// on its untraced fast path; the usual way to set it is the facade's
+	// WithTrace run option.
+	Sink trace.Sink
 }
 
 // DefaultConfig returns the paper's multiscalar configuration for the

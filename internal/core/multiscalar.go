@@ -9,6 +9,7 @@ import (
 	"multiscalar/internal/mem"
 	"multiscalar/internal/predict"
 	"multiscalar/internal/pu"
+	"multiscalar/internal/trace"
 )
 
 // taskState is the sequencer's bookkeeping for one assigned task.
@@ -16,6 +17,7 @@ type taskState struct {
 	desc       *isa.TaskDescriptor
 	entry      uint32
 	assignedAt uint64
+	seq        int32 // assignment sequence number (trace task id)
 
 	// Registers this task has forwarded on the ring, kept for register
 	// file rebuilds after squashes. A mask plus a flat array (rather than
@@ -99,6 +101,11 @@ type Multiscalar struct {
 	finished bool
 	now      uint64
 
+	// Event tracing (Config.Sink). nextSeq numbers task assignments so
+	// every trace event about a task carries a stable identity.
+	sink    trace.Sink
+	nextSeq int32
+
 	// Statistics.
 	committed      uint64
 	tasksRetired   uint64
@@ -127,11 +134,21 @@ func NewMultiscalar(prog *isa.Program, env *interp.SysEnv, cfg Config) (*Multisc
 		backing: mem.NewMemory(),
 		bus:     mem.NewBus(),
 		viol:    -1,
+		sink:    cfg.Sink,
 	}
 	m.backing.WriteBytes(isa.DataBase, prog.Data)
 	m.dbanks = mem.NewBankedDCache(cfg.NumBanks(), cfg.DBankBytes, cfg.DBlockBytes, cfg.DCacheHit, cfg.NumMSHRs, m.bus)
 	m.arb = arb.New(cfg.NumUnits, cfg.NumBanks(), cfg.ARBEntries, cfg.ARBPolicy)
 	m.descCache = mem.NewCache("desccache", cfg.DescCacheEntries*16, 16, 0, 1, m.bus)
+	if m.sink != nil {
+		m.bus.Sink = m.sink
+		m.arb.Sink = m.sink
+		m.descCache.Sink, m.descCache.SinkKind, m.descCache.SinkID = m.sink, trace.KDescMiss, -1
+		for i, b := range m.dbanks.Banks {
+			b.Sink, b.SinkKind, b.SinkID = m.sink, trace.KDCacheMiss, int8(i)
+		}
+		m.predictor.Sink, m.predictor.Now = m.sink, &m.now
+	}
 
 	ucfg := pu.Config{
 		IssueWidth:    cfg.IssueWidth,
@@ -140,9 +157,14 @@ func NewMultiscalar(prog *isa.Program, env *interp.SysEnv, cfg Config) (*Multisc
 		FetchQSize:    cfg.FetchQSize,
 		Latencies:     cfg.Latencies,
 		BranchEntries: cfg.BranchEntries,
+		Sink:          cfg.Sink,
 	}
 	for i := 0; i < cfg.NumUnits; i++ {
-		m.icaches = append(m.icaches, mem.NewCache("icache", cfg.ICacheBytes, cfg.ICacheBlock, 0, cfg.NumMSHRs, m.bus))
+		ic := mem.NewCache("icache", cfg.ICacheBytes, cfg.ICacheBlock, 0, cfg.NumMSHRs, m.bus)
+		if m.sink != nil {
+			ic.Sink, ic.SinkKind, ic.SinkID = m.sink, trace.KICacheMiss, int8(i)
+		}
+		m.icaches = append(m.icaches, ic)
 		ext := &msExt{m: m, id: i}
 		m.exts = append(m.exts, ext)
 		m.units = append(m.units, pu.New(i, ucfg, prog, ext))
@@ -176,6 +198,9 @@ func (m *Multiscalar) Run() (*Result, error) {
 		if m.now >= m.cfg.MaxCycles {
 			return nil, fmt.Errorf("core: multiscalar run exceeded %d cycles (deadlock?)", m.cfg.MaxCycles)
 		}
+		if m.sink != nil {
+			m.arb.Now = m.now // the ARB has no clock of its own
+		}
 		m.assign(m.now)
 		for i := 0; i < m.cfg.NumUnits; i++ {
 			idx := (m.head + i) % m.cfg.NumUnits
@@ -206,20 +231,32 @@ func (m *Multiscalar) Run() (*Result, error) {
 		}
 		m.now++
 	}
+	if m.sink != nil {
+		m.sink.Emit(trace.Event{Cycle: m.now, Kind: trace.KRunEnd, Unit: -1, Task: -1, Arg2: m.now})
+	}
 	return m.result(), nil
 }
 
 func (m *Multiscalar) finish() {
 	// The head task executed the exit syscall: its work is architectural.
 	if m.active > 0 {
-		m.committed += m.units[m.head].Retired
+		u := m.units[m.head]
+		m.committed += u.Retired
 		m.tasksRetired++
 		m.foldActivity(m.head, true)
+		if m.sink != nil {
+			m.sink.Emit(trace.Event{Cycle: m.now, Kind: trace.KTaskRetire, Unit: int8(m.head),
+				Task: m.tasks[m.head].seq, Arg: u.ExitPC(), Arg2: u.Retired})
+		}
 		// Remaining in-flight tasks were beyond the program's end.
 		for d := 1; d < m.active; d++ {
 			q := (m.head + d) % m.cfg.NumUnits
 			m.foldActivity(q, false)
 			m.tasksSquashed++
+			if m.sink != nil {
+				m.sink.Emit(trace.Event{Cycle: m.now, Kind: trace.KTaskSquash, Unit: int8(q),
+					Task: m.tasks[q].seq, Arg: trace.CauseDrain, Arg2: uint64(d)})
+			}
 		}
 	}
 	m.now++ // the exit cycle counts
@@ -245,6 +282,14 @@ func (m *Multiscalar) foldActivity(unit int, retired bool) {
 			m.activity[a] += u.ActCounts[a]
 		} else {
 			m.squashedCycles += u.ActCounts[a]
+		}
+		if m.sink != nil && u.ActCounts[a] > 0 {
+			arg := uint32(a)
+			if !retired {
+				arg |= trace.ActivitySquashed
+			}
+			m.sink.Emit(trace.Event{Cycle: m.now, Kind: trace.KTaskActivity, Unit: int8(unit),
+				Task: m.tasks[unit].seq, Arg: arg, Arg2: u.ActCounts[a]})
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"multiscalar/internal/isa"
 	"multiscalar/internal/mem"
 	"multiscalar/internal/pu"
+	"multiscalar/internal/trace"
 )
 
 // Scalar is the baseline processor: one processing unit (identical to a
@@ -37,6 +38,11 @@ func NewScalar(prog *isa.Program, env *interp.SysEnv, cfg Config) *Scalar {
 	s.backing.WriteBytes(isa.DataBase, prog.Data)
 	s.icache = mem.NewCache("icache", cfg.ICacheBytes, cfg.ICacheBlock, 0, cfg.NumMSHRs, s.bus)
 	s.dcache = mem.NewCache("dcache", cfg.DBankBytes, cfg.DBlockBytes, cfg.DCacheHit, cfg.NumMSHRs, s.bus)
+	if cfg.Sink != nil {
+		s.bus.Sink = cfg.Sink
+		s.icache.Sink, s.icache.SinkKind, s.icache.SinkID = cfg.Sink, trace.KICacheMiss, 0
+		s.dcache.Sink, s.dcache.SinkKind, s.dcache.SinkID = cfg.Sink, trace.KDCacheMiss, 0
+	}
 	s.ext = &scalarExt{s: s}
 	s.ext.regs[isa.RegSP] = interp.IntVal(isa.StackTop)
 	s.ext.regs[isa.RegGP] = interp.IntVal(isa.DataBase)
@@ -47,6 +53,7 @@ func NewScalar(prog *isa.Program, env *interp.SysEnv, cfg Config) *Scalar {
 		FetchQSize:    cfg.FetchQSize,
 		Latencies:     cfg.Latencies,
 		BranchEntries: cfg.BranchEntries,
+		Sink:          cfg.Sink,
 	}
 	s.unit = pu.New(0, ucfg, prog, s.ext)
 	return s
@@ -54,6 +61,10 @@ func NewScalar(prog *isa.Program, env *interp.SysEnv, cfg Config) *Scalar {
 
 // Run executes the program to completion.
 func (s *Scalar) Run() (*Result, error) {
+	if s.cfg.Sink != nil {
+		s.unit.SetTraceTask(0)
+		s.cfg.Sink.Emit(trace.Event{Cycle: 0, Kind: trace.KTaskAssign, Unit: 0, Task: 0, Arg: s.prog.Entry})
+	}
 	s.unit.Start(s.prog.Entry, 0)
 	var now uint64
 	for !s.env.Exited {
@@ -64,6 +75,11 @@ func (s *Scalar) Run() (*Result, error) {
 			return nil, err
 		}
 		now++
+	}
+	if s.cfg.Sink != nil {
+		s.cfg.Sink.Emit(trace.Event{Cycle: now, Kind: trace.KTaskRetire, Unit: 0, Task: 0,
+			Arg: s.unit.ExitPC(), Arg2: s.unit.Retired})
+		s.cfg.Sink.Emit(trace.Event{Cycle: now, Kind: trace.KRunEnd, Unit: -1, Task: -1, Arg2: now})
 	}
 	res := &Result{
 		Cycles:       now,

@@ -5,6 +5,7 @@ import (
 
 	"multiscalar/internal/interp"
 	"multiscalar/internal/isa"
+	"multiscalar/internal/trace"
 )
 
 // assign performs at most one task assignment per cycle: choose the next
@@ -41,6 +42,10 @@ func (m *Multiscalar) assign(now uint64) {
 		entry, ok = m.predictSuccessor(last)
 		if !ok {
 			return
+		}
+		if m.sink != nil {
+			m.sink.Emit(trace.Event{Cycle: now, Kind: trace.KTaskPredict, Unit: int8(tail),
+				Task: last.seq, Arg: entry})
 		}
 	}
 
@@ -106,12 +111,20 @@ func (m *Multiscalar) predictSuccessor(last *taskState) (uint32, bool) {
 
 func (m *Multiscalar) doAssign(entry uint32, desc *isa.TaskDescriptor, now uint64) {
 	unit := (m.head + m.active) % m.cfg.NumUnits
+	seq := m.nextSeq
+	m.nextSeq++
 	m.tasks[unit] = &taskState{
 		desc:       desc,
 		entry:      entry,
 		assignedAt: now,
+		seq:        seq,
 	}
 	m.rebuildRegs(unit, now)
+	if m.sink != nil {
+		m.units[unit].SetTraceTask(seq)
+		m.sink.Emit(trace.Event{Cycle: now, Kind: trace.KTaskAssign, Unit: int8(unit),
+			Task: seq, Arg: entry})
+	}
 	m.units[unit].Start(entry, now)
 	m.active++
 	if m.forcedValid && m.forced == entry {
@@ -184,6 +197,10 @@ func (m *Multiscalar) forward(p int, now uint64, r isa.Reg, v interp.Value) {
 
 	m.tasks[p].sentVals[r] = sentValue{val: v, when: sc}
 	m.tasks[p].sentMask = m.tasks[p].sentMask.Set(r)
+	if m.sink != nil {
+		m.sink.Emit(trace.Event{Cycle: sc, Kind: trace.KRingSend, Unit: int8(p),
+			Task: m.tasks[p].seq, Arg: uint32(r)})
+	}
 
 	for d := 1; ; d++ {
 		q := (p + d) % m.cfg.NumUnits
@@ -278,6 +295,11 @@ func (m *Multiscalar) retire(now uint64) error {
 	m.committed += u.Retired
 	m.tasksRetired++
 	m.foldActivity(m.head, true)
+	if m.sink != nil {
+		m.sink.Emit(trace.Event{Cycle: now, Kind: trace.KTaskRetire, Unit: int8(m.head),
+			Task: ts.seq, Arg: u.ExitPC(), Arg2: u.Retired})
+		u.SetTraceTask(-1)
+	}
 	u.Squash()
 	m.tasks[m.head] = nil
 	m.head = (m.head + 1) % m.cfg.NumUnits
@@ -345,6 +367,14 @@ func (m *Multiscalar) validateOne(dist int, ts *taskState, actual uint32, outcom
 	if ts.predCounts {
 		m.predictions++
 	}
+	if m.sink != nil && ts.predMade {
+		hit := uint64(0)
+		if ts.predEntry == actual {
+			hit = 1
+		}
+		m.sink.Emit(trace.Event{Cycle: now, Kind: trace.KPredValidate,
+			Unit: int8((m.head + dist) % m.cfg.NumUnits), Task: ts.seq, Arg: actual, Arg2: hit})
+	}
 	if ts.predEntry == actual {
 		if ts.predCounts {
 			m.predCorrect++
@@ -357,6 +387,11 @@ func (m *Multiscalar) validateOne(dist int, ts *taskState, actual uint32, outcom
 		q := (m.head + d) % m.cfg.NumUnits
 		m.foldActivity(q, false)
 		m.tasksSquashed++
+		if m.sink != nil {
+			m.sink.Emit(trace.Event{Cycle: now, Kind: trace.KTaskSquash, Unit: int8(q),
+				Task: m.tasks[q].seq, Arg: trace.CauseControl, Arg2: uint64(d)})
+			m.units[q].SetTraceTask(-1)
+		}
 		m.arb.ClearUnit(q)
 		m.units[q].Squash()
 		m.tasks[q] = nil
@@ -394,6 +429,10 @@ func (m *Multiscalar) memoryViolationSquash(now uint64) {
 		q := (m.head + d) % m.cfg.NumUnits
 		m.foldActivity(q, false)
 		m.tasksSquashed++
+		if m.sink != nil {
+			m.sink.Emit(trace.Event{Cycle: now, Kind: trace.KTaskSquash, Unit: int8(q),
+				Task: m.tasks[q].seq, Arg: trace.CauseMemory, Arg2: uint64(d)})
+		}
 		m.arb.ClearUnit(q)
 		m.units[q].Squash()
 		m.tasks[q].sentMask = 0
@@ -401,6 +440,10 @@ func (m *Multiscalar) memoryViolationSquash(now uint64) {
 	for d := first; d < m.active; d++ {
 		q := (m.head + d) % m.cfg.NumUnits
 		m.rebuildRegs(q, now+1)
+		if m.sink != nil {
+			m.sink.Emit(trace.Event{Cycle: now + 1, Kind: trace.KTaskRestart, Unit: int8(q),
+				Task: m.tasks[q].seq, Arg: m.tasks[q].entry})
+		}
 		m.units[q].Start(m.tasks[q].entry, now+1)
 		// Re-execution may take a different path: the task's exit must be
 		// validated afresh.
@@ -419,10 +462,18 @@ func (m *Multiscalar) arbOverflowSquash(now uint64) bool {
 	m.foldActivity(tail, false)
 	m.tasksSquashed++
 	m.arbSquashes++
+	if m.sink != nil {
+		m.sink.Emit(trace.Event{Cycle: now, Kind: trace.KTaskSquash, Unit: int8(tail),
+			Task: m.tasks[tail].seq, Arg: trace.CauseARB, Arg2: uint64(m.active - 1)})
+	}
 	m.arb.ClearUnit(tail)
 	m.units[tail].Squash()
 	m.tasks[tail].sentMask = 0
 	m.rebuildRegs(tail, now+1)
+	if m.sink != nil {
+		m.sink.Emit(trace.Event{Cycle: now + 1, Kind: trace.KTaskRestart, Unit: int8(tail),
+			Task: m.tasks[tail].seq, Arg: m.tasks[tail].entry})
+	}
 	m.units[tail].Start(m.tasks[tail].entry, now+1)
 	return true
 }

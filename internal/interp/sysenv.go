@@ -3,6 +3,7 @@ package interp
 import (
 	"bytes"
 	"fmt"
+	"io"
 
 	"multiscalar/internal/isa"
 	"multiscalar/internal/mem"
@@ -11,13 +12,15 @@ import (
 // Syscall codes (SPIM-style). The paper's simulator traps system calls to
 // the host OS; SysEnv is our host side. Benchmark inputs are pre-loaded
 // into the data segment before the run, so programs only call out for
-// output, heap growth, and exit.
+// output, heap growth, and exit — plus SysReadChar for programs that take
+// interactive input.
 const (
 	SysPrintInt    = 1
 	SysPrintString = 4
 	SysSbrk        = 9
 	SysExit        = 10
 	SysPrintChar   = 11
+	SysReadChar    = 12
 )
 
 // MemReader lets a syscall read program memory through whatever view is
@@ -37,6 +40,13 @@ type SysEnv struct {
 	Out      bytes.Buffer
 	ExitCode int32
 	Exited   bool
+
+	// In, when non-nil, backs SysReadChar. With a nil In the syscall
+	// returns end-of-input. Timing simulators replay tasks after
+	// squashes, so a determinate In (a bytes.Reader, not a terminal) is
+	// required for verification runs; the facade's WithVerify slurps the
+	// reader for exactly this reason.
+	In io.Reader
 
 	heapEnd uint32
 }
@@ -68,6 +78,14 @@ func (e *SysEnv) Call(m MemReader, v0, a0, a1, a2, a3 uint32) (ret uint32, write
 			e.Out.WriteByte(b)
 		}
 		return 0, false, fmt.Errorf("interp: unterminated string at 0x%x", a0)
+	case SysReadChar:
+		if e.In != nil {
+			var b [1]byte
+			if n, _ := io.ReadFull(e.In, b[:]); n == 1 {
+				return uint32(b[0]), true, nil
+			}
+		}
+		return ^uint32(0), true, nil // -1: end of input
 	case SysSbrk:
 		old := e.heapEnd
 		e.heapEnd += a0

@@ -1,5 +1,7 @@
 package mem
 
+import "multiscalar/internal/trace"
+
 // Bus models the single 4-word split-transaction memory bus of
 // Section 5.1: every memory request (icache and dcache misses alike) pays
 // a 10-cycle access latency for the first 4 words and 1 cycle for each
@@ -8,6 +10,10 @@ package mem
 type Bus struct {
 	FirstLatency int // cycles for the first 4 words (paper: 10)
 	PerChunk     int // cycles per additional 4 words (paper: 1)
+
+	// Sink, when non-nil, receives a KBusRequest event per transfer,
+	// stamped with the cycle the bus actually starts it.
+	Sink trace.Sink
 
 	busyUntil uint64
 
@@ -35,6 +41,9 @@ func (b *Bus) Access(now uint64, words int) (done uint64) {
 	b.busyUntil = done
 	b.Requests++
 	b.BusyCycles += dur
+	if b.Sink != nil {
+		b.Sink.Emit(trace.Event{Cycle: start, Kind: trace.KBusRequest, Unit: -1, Task: -1, Arg2: dur})
+	}
 	return done
 }
 

@@ -1,5 +1,7 @@
 package mem
 
+import "multiscalar/internal/trace"
+
 // Cache is a direct-mapped, timing-only cache: data always lives in the
 // backing Memory (or, for speculative state, in the ARB); the cache tracks
 // tags to decide hit/miss latency, and models non-blocking misses with a
@@ -10,6 +12,13 @@ type Cache struct {
 	SizeBytes  int
 	BlockBytes int
 	HitLatency int
+
+	// Sink, when non-nil, receives a SinkKind event (stamped with the
+	// requesting cycle, Unit=SinkID, Arg=address) for every miss. The
+	// machine that owns the cache wires these from its trace sink.
+	Sink     trace.Sink
+	SinkKind trace.Kind
+	SinkID   int8
 
 	bus  *Bus
 	sets int
@@ -105,6 +114,9 @@ func (c *Cache) Access(now uint64, addr uint32, write bool) (done uint64) {
 	}
 
 	c.Misses++
+	if c.Sink != nil {
+		c.Sink.Emit(trace.Event{Cycle: now, Kind: c.SinkKind, Unit: c.SinkID, Task: -1, Arg: addr})
+	}
 	start := now
 	if len(c.mshrs) >= c.nmshr {
 		// All MSHRs busy: wait for the earliest to free.

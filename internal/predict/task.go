@@ -4,6 +4,8 @@
 // processing units.
 package predict
 
+import "multiscalar/internal/trace"
+
 // TaskPredictor is the sequencer's control flow predictor: a PAs
 // configuration with 4 targets per prediction and 6 outcome histories.
 // The first level is a 64-entry table of 12-bit histories (2 bits per
@@ -15,6 +17,13 @@ package predict
 type TaskPredictor struct {
 	histories [64]uint16  // 12-bit per-address histories
 	pattern   [4096]uint8 // 1 hysteresis bit <<2 | 2-bit target number
+
+	// Sink, when non-nil, receives KPredIndex events for every table
+	// prediction and KPredTrain events for every training update. The
+	// predictor has no clock of its own, so the owning sequencer points
+	// Now at its cycle counter when it attaches a sink.
+	Sink trace.Sink
+	Now  *uint64
 
 	// Stats
 	Predictions uint64
@@ -39,6 +48,9 @@ func (p *TaskPredictor) Predict(taskAddr uint32) int {
 	tgt := int(e & 3)
 	p.histories[i] = (hist<<2 | uint16(tgt)) & historyMask
 	p.Predictions++
+	if p.Sink != nil {
+		p.Sink.Emit(trace.Event{Cycle: *p.Now, Kind: trace.KPredIndex, Unit: -1, Task: -1, Arg: taskAddr, Arg2: uint64(tgt)})
+	}
 	return tgt
 }
 
@@ -60,6 +72,9 @@ func (p *TaskPredictor) UpdateWith(hist uint16, taskAddr uint32, actual int, pre
 		tgt = actual
 	}
 	p.pattern[hist&historyMask] = conf<<2 | uint8(tgt&3)
+	if p.Sink != nil {
+		p.Sink.Emit(trace.Event{Cycle: *p.Now, Kind: trace.KPredTrain, Unit: -1, Task: -1, Arg: taskAddr, Arg2: uint64(actual)})
+	}
 	if predicted == actual {
 		p.Correct++
 	} else {
@@ -95,9 +110,10 @@ func (p *TaskPredictor) Accuracy() float64 {
 	return float64(p.Correct) / float64(p.Predictions)
 }
 
-// Reset clears all predictor state and statistics.
+// Reset clears all predictor state and statistics (the trace wiring
+// survives: it belongs to the machine, not the tables).
 func (p *TaskPredictor) Reset() {
-	*p = TaskPredictor{}
+	*p = TaskPredictor{Sink: p.Sink, Now: p.Now}
 }
 
 // RAS is the sequencer's 64-entry return address stack. It is a circular

@@ -18,6 +18,7 @@ import (
 	"multiscalar/internal/interp"
 	"multiscalar/internal/isa"
 	"multiscalar/internal/predict"
+	"multiscalar/internal/trace"
 )
 
 // Ext is the unit's view of the rest of the machine.
@@ -63,6 +64,13 @@ type Config struct {
 	FetchQSize    int
 	Latencies     isa.Latencies
 	BranchEntries int // bimodal predictor entries (power of two)
+
+	// Sink, when non-nil, receives the unit's pipeline events: activity
+	// reclassifications (KUnitActivity, with window occupancy), the first
+	// issue of each activation (KTaskFirstIssue), and local task
+	// completion (KTaskComplete). The owner labels activations with
+	// SetTraceTask.
+	Sink trace.Sink
 }
 
 // DefaultConfig returns the paper's processing unit: selectable issue
@@ -171,6 +179,15 @@ type Unit struct {
 	retiredNow int
 	startCycle uint64
 	lastAct    Activity
+
+	// Tracing. taskSeq labels events with the owner-assigned task
+	// sequence number; emitAct deduplicates KUnitActivity events so one
+	// is emitted only when the classification changes.
+	sink        trace.Sink
+	taskSeq     int32
+	firstIssued bool
+	emitAct     Activity
+	emitActSet  bool
 }
 
 // LastActivity reports how the most recent Tick was classified (for
@@ -201,6 +218,9 @@ func New(id int, cfg Config, prog *isa.Program, ext Ext) *Unit {
 		// paths shift in place so these never reallocate.
 		fetchQ: make([]fetchedInstr, 0, cfg.FetchQSize),
 		rob:    make([]robEntry, 0, cfg.ROBSize),
+
+		sink:    cfg.Sink,
+		taskSeq: -1,
 	}
 	if s, ok := ext.(SharedFUs); ok {
 		u.shared = s
@@ -243,7 +263,24 @@ func (u *Unit) Start(entry uint32, now uint64) {
 	u.ActCounts = [NumActivities]uint64{}
 	u.startCycle = now
 	u.committedFCC = false
+	u.firstIssued = false
 	u.bp.ClearRAS()
+}
+
+// SetTraceTask labels this unit's subsequent trace events with the
+// owner-assigned task sequence number (-1 when idle).
+func (u *Unit) SetTraceTask(seq int32) { u.taskSeq = seq }
+
+// emitActivity emits a KUnitActivity event when the cycle classification
+// changes (the classification holds until the next event, so the stream
+// is a run-length encoding of each unit's occupancy timeline).
+func (u *Unit) emitActivity(now uint64, act Activity) {
+	if u.emitActSet && act == u.emitAct {
+		return
+	}
+	u.emitAct, u.emitActSet = act, true
+	u.sink.Emit(trace.Event{Cycle: now, Kind: trace.KUnitActivity, Unit: int8(u.ID),
+		Task: u.taskSeq, Arg: uint32(act), Arg2: uint64(len(u.rob))})
 }
 
 // Squash deactivates the unit, discarding all in-flight state.
@@ -261,6 +298,9 @@ func (u *Unit) Tick(now uint64) (int, error) {
 	if !u.active {
 		u.ActCounts[ActIdle]++
 		u.lastAct = ActIdle
+		if u.sink != nil {
+			u.emitActivity(now, ActIdle)
+		}
 		return 0, nil
 	}
 	u.waitingExt = false
@@ -280,6 +320,14 @@ func (u *Unit) Tick(now uint64) (int, error) {
 
 	u.lastAct = u.classify()
 	u.ActCounts[u.lastAct]++
+	if u.sink != nil {
+		if !u.firstIssued && u.issuedNow > 0 {
+			u.firstIssued = true
+			u.sink.Emit(trace.Event{Cycle: now, Kind: trace.KTaskFirstIssue,
+				Unit: int8(u.ID), Task: u.taskSeq})
+		}
+		u.emitActivity(now, u.lastAct)
+	}
 	return u.retiredNow, nil
 }
 
@@ -431,6 +479,10 @@ func (u *Unit) retire(now uint64) error {
 			u.rob = u.rob[:0]
 			u.fetchQ = u.fetchQ[:0]
 			u.fetchStopped = true
+			if u.sink != nil {
+				u.sink.Emit(trace.Event{Cycle: now, Kind: trace.KTaskComplete,
+					Unit: int8(u.ID), Task: u.taskSeq, Arg: exitPC})
+			}
 			break
 		}
 	}

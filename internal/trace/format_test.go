@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// sampleEvents exercises every field width the encoder handles: negative
+// cycle deltas (paced ring sends run ahead of the clock), absent unit and
+// task ids, and 64-bit args.
+var sampleEvents = []Event{
+	{Cycle: 0, Kind: KTaskAssign, Unit: 0, Task: 0, Arg: 0x1000},
+	{Cycle: 3, Kind: KTaskFirstIssue, Unit: 0, Task: 0},
+	{Cycle: 9, Kind: KRingSend, Unit: 0, Task: 0, Arg: 17},
+	{Cycle: 7, Kind: KUnitActivity, Unit: 0, Task: 0, Arg: 1, Arg2: 12}, // cycle runs backwards
+	{Cycle: 40, Kind: KDCacheMiss, Unit: 3, Task: -1, Arg: 0xdeadbeef},
+	{Cycle: 41, Kind: KTaskSquash, Unit: 1, Task: 2, Arg: CauseMemory, Arg2: 3},
+	{Cycle: 1 << 40, Kind: KRunEnd, Unit: -1, Task: -1, Arg2: 1 << 40},
+}
+
+func sampleMeta() Meta {
+	return Meta{
+		NumUnits: 4,
+		Label:    "unit-test",
+		Tasks:    map[uint32]string{0x1000: "main", 0x1040: "loop"},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, sampleMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range sampleEvents {
+		w.Emit(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Meta, sampleMeta()) {
+		t.Errorf("meta = %+v", tr.Meta)
+	}
+	if !reflect.DeepEqual(tr.Events, sampleEvents) {
+		t.Errorf("events differ:\n got %v\nwant %v", tr.Events, sampleEvents)
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{NumUnits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 0 || tr.Meta.NumUnits != 1 || tr.Meta.Tasks != nil {
+		t.Errorf("trace = %+v", tr)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := ReadAll(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Error("expected an error for a bad magic")
+	}
+}
+
+// TestEmitDoesNotAllocate holds the streaming writer to the tracing
+// layer's core promise: emission is allocation-free, so attaching a
+// Writer never pressures the simulator's GC behavior.
+func TestEmitDoesNotAllocate(t *testing.T) {
+	w, err := NewWriter(io.Discard, sampleMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Event{Cycle: 1, Kind: KUnitActivity, Unit: 2, Task: 3, Arg: 4, Arg2: 5}
+	allocs := testing.AllocsPerRun(10000, func() {
+		e.Cycle++
+		w.Emit(e)
+	})
+	if allocs != 0 {
+		t.Errorf("Emit allocates %.1f times per call, want 0", allocs)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w, err := NewWriter(failAfter{}, Meta{NumUnits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ { // enough to overflow the buffer
+		w.Emit(Event{Cycle: uint64(i), Kind: KBusRequest})
+	}
+	if w.Close() == nil {
+		t.Error("expected the underlying write error from Close")
+	}
+}
+
+type failAfter struct{}
+
+func (failAfter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func TestSummarize(t *testing.T) {
+	tr := &Trace{
+		Meta: sampleMeta(),
+		Events: []Event{
+			{Cycle: 0, Kind: KTaskAssign, Unit: 0, Task: 0, Arg: 0x1000},
+			{Cycle: 2, Kind: KTaskFirstIssue, Unit: 0, Task: 0},
+			{Cycle: 1, Kind: KTaskAssign, Unit: 1, Task: 1, Arg: 0x1040},
+			{Cycle: 5, Kind: KTaskActivity, Unit: 1, Task: 1, Arg: 1 | ActivitySquashed, Arg2: 4},
+			{Cycle: 5, Kind: KTaskSquash, Unit: 1, Task: 1, Arg: CauseMemory, Arg2: 1},
+			{Cycle: 6, Kind: KTaskRestart, Unit: 1, Task: 1, Arg: 0x1040},
+			{Cycle: 10, Kind: KTaskActivity, Unit: 0, Task: 0, Arg: 1, Arg2: 7},
+			{Cycle: 10, Kind: KTaskRetire, Unit: 0, Task: 0, Arg: 0x1030, Arg2: 12},
+			{Cycle: 20, Kind: KTaskActivity, Unit: 1, Task: 1, Arg: 1, Arg2: 9},
+			{Cycle: 20, Kind: KTaskRetire, Unit: 1, Task: 1, Arg: 0x1080, Arg2: 8},
+			{Cycle: 21, Kind: KRunEnd, Unit: -1, Task: -1, Arg2: 21},
+		},
+	}
+	s := Summarize(tr)
+	if s.Cycles != 21 || len(s.Tasks) != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	t0, t1 := s.Tasks[0], s.Tasks[1]
+	if !t0.Retired || t0.Instrs != 12 || t0.Activity[1] != 7 || t0.FirstIssue != 2 || !t0.HasIssue {
+		t.Errorf("task 0 = %+v", t0)
+	}
+	if t0.Name(&tr.Meta) != "main" {
+		t.Errorf("task 0 name = %q", t0.Name(&tr.Meta))
+	}
+	if !t1.Retired || t1.Restarts != 1 || t1.SquashedCycles != 4 || t1.Activity[1] != 9 {
+		t.Errorf("task 1 = %+v", t1)
+	}
+	if len(t1.Spans) != 2 || !t1.Spans[0].Squashed || t1.Spans[0].Cause != CauseMemory ||
+		t1.Spans[0].End != 5 || t1.Spans[1].Start != 6 || t1.Spans[1].End != 20 || t1.Spans[1].Squashed {
+		t.Errorf("task 1 spans = %+v", t1.Spans)
+	}
+}

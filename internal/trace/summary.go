@@ -1,0 +1,131 @@
+package trace
+
+import "sort"
+
+// MaxActivityClasses bounds the per-class cycle counters in a
+// TaskSummary. The simulator's classes (pu.Activity) fit comfortably;
+// the constant lives here so this package needs no import of pu (which
+// itself imports trace).
+const MaxActivityClasses = 8
+
+// Span is one activation of a task on a unit: from assignment (or
+// restart) to retire, squash, or the end of the run.
+type Span struct {
+	Unit     int8
+	Start    uint64
+	End      uint64
+	Squashed bool
+	Cause    uint32 // squash cause (valid when Squashed)
+}
+
+// TaskSummary condenses one task's lifecycle out of the event stream.
+type TaskSummary struct {
+	Seq   int32
+	Entry uint32
+	Unit  int8 // unit of the first activation
+
+	Assigned   uint64
+	FirstIssue uint64
+	HasIssue   bool
+	Restarts   int
+
+	Retired     bool
+	EndCycle    uint64
+	Instrs      uint64 // committed instructions (retired tasks)
+	SquashCause uint32 // cause of the final squash (non-retired tasks)
+	SquashDist  uint64 // distance from the head at that squash
+
+	// Activity decomposes the task's unit-cycles by class exactly as the
+	// simulator accumulates Result.Activity: cycles of retired
+	// activations land in Activity[class], cycles of squashed
+	// activations in SquashedCycles. Summing either over all tasks
+	// reproduces the corresponding Result field.
+	Activity       [MaxActivityClasses]uint64
+	SquashedCycles uint64
+
+	Spans []Span
+}
+
+// Name resolves the task's descriptor name through meta ("" if unknown).
+func (t *TaskSummary) Name(meta *Meta) string { return meta.TaskName(t.Entry) }
+
+// Summary is the per-task view of one trace.
+type Summary struct {
+	Cycles uint64 // total run cycles (from KRunEnd)
+	Tasks  []TaskSummary
+}
+
+// Summarize folds a decoded trace into per-task lifecycles, ordered by
+// assignment sequence number.
+func Summarize(tr *Trace) *Summary {
+	s := &Summary{}
+	byTask := map[int32]*TaskSummary{}
+	get := func(e Event) *TaskSummary {
+		t := byTask[e.Task]
+		if t == nil {
+			t = &TaskSummary{Seq: e.Task, Unit: e.Unit}
+			byTask[e.Task] = t
+		}
+		return t
+	}
+	closeSpan := func(t *TaskSummary, end uint64, squashed bool, cause uint32) {
+		if n := len(t.Spans); n > 0 && t.Spans[n-1].End == 0 {
+			t.Spans[n-1].End = end
+			t.Spans[n-1].Squashed = squashed
+			t.Spans[n-1].Cause = cause
+		}
+	}
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case KRunEnd:
+			s.Cycles = e.Arg2
+			for _, t := range byTask {
+				closeSpan(t, s.Cycles, false, 0)
+			}
+		case KTaskAssign:
+			t := get(e)
+			t.Entry = e.Arg
+			t.Unit = e.Unit
+			t.Assigned = e.Cycle
+			t.Spans = append(t.Spans, Span{Unit: e.Unit, Start: e.Cycle})
+		case KTaskRestart:
+			t := get(e)
+			t.Restarts++
+			t.Spans = append(t.Spans, Span{Unit: e.Unit, Start: e.Cycle})
+		case KTaskFirstIssue:
+			t := get(e)
+			if !t.HasIssue {
+				t.FirstIssue = e.Cycle
+				t.HasIssue = true
+			}
+		case KTaskRetire:
+			t := get(e)
+			t.Retired = true
+			t.EndCycle = e.Cycle
+			t.Instrs = e.Arg2
+			closeSpan(t, e.Cycle, false, 0)
+		case KTaskSquash:
+			t := get(e)
+			t.EndCycle = e.Cycle
+			t.SquashCause = e.Arg
+			t.SquashDist = e.Arg2
+			closeSpan(t, e.Cycle, true, e.Arg)
+		case KTaskActivity:
+			t := get(e)
+			class := e.Arg &^ ActivitySquashed
+			if e.Arg&ActivitySquashed != 0 {
+				t.SquashedCycles += e.Arg2
+			} else if class < MaxActivityClasses {
+				t.Activity[class] += e.Arg2
+			}
+		}
+	}
+	s.Tasks = make([]TaskSummary, 0, len(byTask))
+	for _, t := range byTask {
+		if t.Seq >= 0 {
+			s.Tasks = append(s.Tasks, *t)
+		}
+	}
+	sort.Slice(s.Tasks, func(i, j int) bool { return s.Tasks[i].Seq < s.Tasks[j].Seq })
+	return s
+}

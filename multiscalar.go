@@ -7,23 +7,29 @@
 //
 //   - Assemble turns annotated assembly (task descriptors, forward/stop
 //     bits, release instructions — Section 2.2 of the paper) into a
-//     Program; one source builds both the scalar and multiscalar binary.
+//     Program; one source builds both the scalar and multiscalar binary
+//     (select with WithMode).
 //   - Partition runs the automatic task partitioner (the compiler half of
 //     the toolchain) over an un-annotated program.
 //   - Interpret executes a Program functionally (the correctness oracle).
-//   - RunScalar simulates the scalar baseline processor cycle by cycle.
-//   - RunMultiscalar simulates a multiscalar processor: N processing
-//     units on a circular queue, sequencer with two-level task prediction
-//     and a return address stack, register forwarding ring, Address
-//     Resolution Buffer, banked data caches, shared memory bus.
+//   - Run simulates a Program cycle by cycle on the machine a Config
+//     describes: the scalar baseline for one unit, otherwise a
+//     multiscalar processor — N processing units on a circular queue,
+//     sequencer with two-level task prediction and a return address
+//     stack, register forwarding ring, Address Resolution Buffer, banked
+//     data caches, shared memory bus. RunOption values attach an event
+//     trace (WithTrace), program input (WithStdin), bounds (WithMaxCycles,
+//     WithMaxInstrs) or oracle verification (WithVerify).
 //   - Workload/Workloads expose the paper's benchmark suite (Section 5.2
 //     rewritten for this ISA).
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of Tables 2-4.
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// reproduction of Tables 2-4, and docs/tracing.md for the event tracing
+// layer.
 package multiscalar
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 
@@ -33,6 +39,7 @@ import (
 	"multiscalar/internal/isa"
 	"multiscalar/internal/mslint"
 	"multiscalar/internal/taskpart"
+	"multiscalar/internal/trace"
 	"multiscalar/internal/workloads"
 )
 
@@ -73,22 +80,53 @@ type LintReport = mslint.Report
 // LintDiag is one finding in a LintReport.
 type LintDiag = mslint.Diag
 
-// Assemble builds a program from annotated assembly source. Multiscalar
-// builds are checked against the annotation contract and rejected on
-// hard violations; see AssembleOptions to opt out or to obtain the full
-// lint report and the source line table.
-func Assemble(src string, mode Mode) (*Program, error) {
+// AssembleOption configures Assemble.
+type AssembleOption func(*asm.Options)
+
+// WithMode selects which binary the source produces (default ModeScalar;
+// multiscalar builds keep task descriptors and tag bits and are checked
+// against the annotation contract).
+func WithMode(m Mode) AssembleOption {
+	return func(o *asm.Options) { o.Mode = m }
+}
+
+// WithoutLint skips the annotation-contract post-pass that multiscalar
+// builds otherwise run — for programs that deliberately violate the
+// contract (tests, fuzzing) or callers that run Lint themselves.
+func WithoutLint() AssembleOption {
+	return func(o *asm.Options) { o.NoLint = true }
+}
+
+// AssembleOptions is the flat form of the assembly options.
+type AssembleOptions = asm.Options
+
+// AssembleResult carries the assembled program plus the source line table
+// and, for multiscalar builds, the annotation-contract lint report.
+type AssembleResult = asm.Result
+
+// Assemble builds a program from annotated assembly source. The default
+// is a scalar build; pass WithMode(ModeMultiscalar) for the multiscalar
+// binary, which is checked against the annotation contract and rejected
+// on hard violations (WithoutLint opts out). The result always carries
+// the instruction-address → source-line table.
+func Assemble(src string, opts ...AssembleOption) (*AssembleResult, error) {
+	var o asm.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return asm.AssembleOpts(src, o)
+}
+
+// AssembleMode assembles for a mode and returns just the program.
+//
+// Deprecated: use Assemble(src, WithMode(mode)).
+func AssembleMode(src string, mode Mode) (*Program, error) {
 	return asm.Assemble(src, mode)
 }
 
-// AssembleOptions controls Assemble beyond the build mode.
-type AssembleOptions = asm.Options
-
-// AssembleResult carries the assembled program plus the line table and
-// lint report.
-type AssembleResult = asm.Result
-
-// AssembleFull is Assemble with explicit options and a full result.
+// AssembleFull is Assemble with a flat options struct.
+//
+// Deprecated: use Assemble with AssembleOption values.
 func AssembleFull(src string, opts AssembleOptions) (*AssembleResult, error) {
 	return asm.AssembleOpts(src, opts)
 }
@@ -117,10 +155,78 @@ type InterpResult struct {
 	Instructions uint64
 }
 
+// DefaultMaxInstrs bounds functional executions that set no explicit
+// WithMaxInstrs — large enough for every workload in the suite, small
+// enough that a non-terminating program errors out rather than spinning
+// forever.
+const DefaultMaxInstrs uint64 = 1 << 40
+
+// runOptions collects the knobs the Run/Interpret options set.
+type runOptions struct {
+	sink      trace.Sink
+	stdin     io.Reader
+	maxCycles uint64
+	maxInstrs uint64
+	verify    bool
+}
+
+// RunOption configures Run or Interpret.
+type RunOption func(*runOptions)
+
+// WithTrace attaches an event sink to the timing run. Every simulator
+// component emits its cycle-stamped events (task lifecycle, unit
+// occupancy, ring, ARB, memory system) to the sink; see docs/tracing.md.
+// The sink receives events during the run and must not be read until Run
+// returns. Interpret ignores it.
+func WithTrace(sink TraceSink) RunOption {
+	return func(o *runOptions) { o.sink = sink }
+}
+
+// WithStdin supplies the program's input stream (syscall SysReadChar).
+// Timing runs replay squashed tasks, so r should be a determinate
+// re-readable source like a bytes.Reader — with WithVerify the reader is
+// slurped once and both the oracle and the timing run see the same bytes.
+func WithStdin(r io.Reader) RunOption {
+	return func(o *runOptions) { o.stdin = r }
+}
+
+// WithMaxCycles overrides Config.MaxCycles, the timing-run deadlock bound.
+func WithMaxCycles(n uint64) RunOption {
+	return func(o *runOptions) { o.maxCycles = n }
+}
+
+// WithMaxInstrs bounds functional executions — Interpret itself and the
+// oracle run WithVerify performs (default DefaultMaxInstrs).
+func WithMaxInstrs(n uint64) RunOption {
+	return func(o *runOptions) { o.maxInstrs = n }
+}
+
+// WithVerify makes Run check the timing simulation against the
+// functional oracle: the program is first interpreted, then simulated,
+// and Run fails unless both produce identical output and the timing run
+// commits exactly the oracle's dynamic instruction count.
+func WithVerify() RunOption {
+	return func(o *runOptions) { o.verify = true }
+}
+
 // Interpret runs a program on the functional simulator (the oracle all
-// timing runs are validated against). maxInstrs bounds runaway programs.
-func Interpret(p *Program, maxInstrs uint64) (*InterpResult, error) {
+// timing runs are validated against). It honors WithStdin and
+// WithMaxInstrs (default DefaultMaxInstrs) and ignores timing-only
+// options.
+func Interpret(p *Program, opts ...RunOption) (*InterpResult, error) {
+	var o runOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return interpret(p, o.stdin, o.maxInstrs)
+}
+
+func interpret(p *Program, stdin io.Reader, maxInstrs uint64) (*InterpResult, error) {
+	if maxInstrs == 0 {
+		maxInstrs = DefaultMaxInstrs
+	}
 	env := interp.NewSysEnv()
+	env.In = stdin
 	m := interp.NewMachine(p, env)
 	if err := m.Run(maxInstrs); err != nil {
 		return nil, err
@@ -144,15 +250,87 @@ func ScalarConfig(width int, outOfOrder bool) Config {
 	return core.ScalarConfig(width, outOfOrder)
 }
 
+// Run simulates a program cycle by cycle on the machine cfg describes:
+// the scalar baseline processor for an un-annotated binary on a one-unit
+// configuration (ScalarConfig), otherwise a multiscalar processor — a
+// binary with task descriptors runs on the multiscalar machine even with
+// cfg.NumUnits of 1 (the single-unit ablation point), and a multiscalar
+// configuration requires the descriptors. Options attach a trace sink,
+// program input, run bounds, and oracle verification.
+func Run(p *Program, cfg Config, opts ...RunOption) (*Result, error) {
+	var o runOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.sink != nil {
+		cfg.Sink = o.sink
+	}
+	if o.maxCycles > 0 {
+		cfg.MaxCycles = o.maxCycles
+	}
+
+	stdin := o.stdin
+	var oracle *InterpResult
+	if o.verify {
+		// The oracle and the timing run must read the same input, so a
+		// one-shot reader is slurped and each run gets its own view.
+		var input []byte
+		if o.stdin != nil {
+			var err error
+			if input, err = io.ReadAll(o.stdin); err != nil {
+				return nil, fmt.Errorf("multiscalar: reading stdin for verification: %w", err)
+			}
+			stdin = bytes.NewReader(input)
+		}
+		var oin io.Reader
+		if input != nil {
+			oin = bytes.NewReader(input)
+		}
+		var err error
+		if oracle, err = interpret(p, oin, o.maxInstrs); err != nil {
+			return nil, err
+		}
+	}
+
+	env := interp.NewSysEnv()
+	env.In = stdin
+	var res *Result
+	var err error
+	if cfg.NumUnits <= 1 && len(p.Tasks) == 0 {
+		res, err = core.NewScalar(p, env, cfg).Run()
+	} else {
+		var m *core.Multiscalar
+		if m, err = core.NewMultiscalar(p, env, cfg); err == nil {
+			res, err = m.Run()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if oracle != nil {
+		if res.Out != oracle.Out {
+			return nil, fmt.Errorf("multiscalar: output diverged from oracle: %q vs %q", res.Out, oracle.Out)
+		}
+		if res.Committed != oracle.Instructions {
+			return nil, fmt.Errorf("multiscalar: committed %d instructions, oracle executed %d",
+				res.Committed, oracle.Instructions)
+		}
+	}
+	return res, nil
+}
+
 // RunScalar simulates a scalar-mode binary on the baseline processor.
+//
+// Deprecated: use Run with a ScalarConfig.
 func RunScalar(p *Program, cfg Config) (*Result, error) {
 	env := interp.NewSysEnv()
-	s := core.NewScalar(p, env, cfg)
-	return s.Run()
+	return core.NewScalar(p, env, cfg).Run()
 }
 
 // RunMultiscalar simulates a multiscalar binary (it must carry task
 // descriptors) on a multiscalar processor.
+//
+// Deprecated: use Run.
 func RunMultiscalar(p *Program, cfg Config) (*Result, error) {
 	env := interp.NewSysEnv()
 	m, err := core.NewMultiscalar(p, env, cfg)
@@ -163,31 +341,56 @@ func RunMultiscalar(p *Program, cfg Config) (*Result, error) {
 }
 
 // Verify runs a program on the oracle and the given machine configuration
-// and checks architectural equivalence: identical output and, for the
-// timing run, a committed instruction count equal to the oracle's dynamic
-// instruction count. It returns the timing result.
+// and checks architectural equivalence; it returns the timing result.
+//
+// Deprecated: use Run(p, cfg, WithVerify()).
 func Verify(p *Program, cfg Config) (*Result, error) {
-	oracle, err := Interpret(p, 1<<40)
-	if err != nil {
-		return nil, err
+	return Run(p, cfg, WithVerify())
+}
+
+// Event tracing (docs/tracing.md). WithTrace accepts any TraceSink: a
+// TraceCollector gathers events in memory; NewTraceWriter streams them to
+// the .mstrc container cmd/mstrace renders.
+
+// TraceSink receives simulator events as they are produced.
+type TraceSink = trace.Sink
+
+// TraceEvent is one cycle-stamped simulator event.
+type TraceEvent = trace.Event
+
+// TraceCollector is an in-memory TraceSink.
+type TraceCollector = trace.Collector
+
+// TraceData is a fully decoded .mstrc trace.
+type TraceData = trace.Trace
+
+// TraceMetaFor describes a run for the .mstrc header: unit count from
+// the configuration and task-descriptor names from the program, plus a
+// free-form label (workload name, config summary).
+func TraceMetaFor(p *Program, cfg Config, label string) trace.Meta {
+	m := trace.Meta{NumUnits: cfg.NumUnits, Label: label}
+	if m.NumUnits <= 0 {
+		m.NumUnits = 1
 	}
-	var res *Result
-	if cfg.NumUnits <= 1 {
-		res, err = RunScalar(p, cfg)
-	} else {
-		res, err = RunMultiscalar(p, cfg)
+	if len(p.Tasks) > 0 {
+		m.Tasks = make(map[uint32]string, len(p.Tasks))
+		for entry, td := range p.Tasks {
+			m.Tasks[entry] = td.Name
+		}
 	}
-	if err != nil {
-		return nil, err
-	}
-	if res.Out != oracle.Out {
-		return nil, fmt.Errorf("multiscalar: output diverged from oracle: %q vs %q", res.Out, oracle.Out)
-	}
-	if res.Committed != oracle.Instructions {
-		return nil, fmt.Errorf("multiscalar: committed %d instructions, oracle executed %d",
-			res.Committed, oracle.Instructions)
-	}
-	return res, nil
+	return m
+}
+
+// NewTraceWriter opens a streaming .mstrc writer for a run of p under
+// cfg: pass it to WithTrace and Close it (checking the error) after Run
+// returns.
+func NewTraceWriter(w io.Writer, p *Program, cfg Config, label string) (*trace.Writer, error) {
+	return trace.NewWriter(w, TraceMetaFor(p, cfg, label))
+}
+
+// ReadTrace decodes an .mstrc stream written by NewTraceWriter.
+func ReadTrace(r io.Reader) (*TraceData, error) {
+	return trace.ReadAll(r)
 }
 
 // SaveProgram writes a program as a binary container (.msb): text in the

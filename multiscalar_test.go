@@ -29,12 +29,19 @@ done:
 	.task done
 `
 
-func TestFacadeAssembleAndInterpret(t *testing.T) {
-	prog, err := multiscalar.Assemble(apiDemo, multiscalar.ModeMultiscalar)
+// mustAssemble builds one mode of a source through the options API.
+func mustAssemble(t *testing.T, src string, mode multiscalar.Mode) *multiscalar.Program {
+	t.Helper()
+	res, err := multiscalar.Assemble(src, multiscalar.WithMode(mode))
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := multiscalar.Interpret(prog, 1<<20)
+	return res.Prog
+}
+
+func TestFacadeAssembleAndInterpret(t *testing.T) {
+	prog := mustAssemble(t, apiDemo, multiscalar.ModeMultiscalar)
+	res, err := multiscalar.Interpret(prog, multiscalar.WithMaxInstrs(1<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,12 +54,9 @@ func TestFacadeAssembleAndInterpret(t *testing.T) {
 }
 
 func TestFacadeVerifyScalar(t *testing.T) {
-	prog, err := multiscalar.Assemble(apiDemo, multiscalar.ModeScalar)
-	if err != nil {
-		t.Fatal(err)
-	}
+	prog := mustAssemble(t, apiDemo, multiscalar.ModeScalar)
 	for _, width := range []int{1, 2} {
-		res, err := multiscalar.Verify(prog, multiscalar.ScalarConfig(width, true))
+		res, err := multiscalar.Run(prog, multiscalar.ScalarConfig(width, true), multiscalar.WithVerify())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,12 +67,9 @@ func TestFacadeVerifyScalar(t *testing.T) {
 }
 
 func TestFacadeVerifyMultiscalar(t *testing.T) {
-	prog, err := multiscalar.Assemble(apiDemo, multiscalar.ModeMultiscalar)
-	if err != nil {
-		t.Fatal(err)
-	}
+	prog := mustAssemble(t, apiDemo, multiscalar.ModeMultiscalar)
 	for _, units := range []int{2, 4, 8, 16} {
-		res, err := multiscalar.Verify(prog, multiscalar.DefaultConfig(units, 1, false))
+		res, err := multiscalar.Run(prog, multiscalar.DefaultConfig(units, 1, false), multiscalar.WithVerify())
 		if err != nil {
 			t.Fatalf("units=%d: %v", units, err)
 		}
@@ -79,12 +80,34 @@ func TestFacadeVerifyMultiscalar(t *testing.T) {
 }
 
 func TestFacadeRejectsUnannotated(t *testing.T) {
-	prog, err := multiscalar.Assemble(apiDemo, multiscalar.ModeScalar)
+	prog := mustAssemble(t, apiDemo, multiscalar.ModeScalar)
+	if _, err := multiscalar.Run(prog, multiscalar.DefaultConfig(4, 1, false)); err == nil {
+		t.Error("multiscalar run of a scalar binary should fail")
+	}
+}
+
+// TestFacadeDeprecatedWrappers keeps the pre-options entry points working.
+func TestFacadeDeprecatedWrappers(t *testing.T) {
+	prog, err := multiscalar.AssembleMode(apiDemo, multiscalar.ModeMultiscalar)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := multiscalar.RunMultiscalar(prog, multiscalar.DefaultConfig(4, 1, false)); err == nil {
-		t.Error("multiscalar run of a scalar binary should fail")
+	full, err := multiscalar.AssembleFull(apiDemo, multiscalar.AssembleOptions{Mode: multiscalar.ModeMultiscalar})
+	if err != nil || full.Prog == nil || len(full.Lines) == 0 {
+		t.Fatalf("AssembleFull = %+v, %v", full, err)
+	}
+	if _, err := multiscalar.RunMultiscalar(prog, multiscalar.DefaultConfig(4, 1, false)); err != nil {
+		t.Fatal(err)
+	}
+	scProg, err := multiscalar.AssembleMode(apiDemo, multiscalar.ModeScalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := multiscalar.RunScalar(scProg, multiscalar.ScalarConfig(1, false)); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := multiscalar.Verify(prog, multiscalar.DefaultConfig(4, 1, false)); err != nil || res.Out != "1275" {
+		t.Fatalf("Verify = %+v, %v", res, err)
 	}
 }
 
@@ -104,17 +127,14 @@ loop:
 	li $a0, 0
 	syscall
 `
-	prog, err := multiscalar.Assemble(src, multiscalar.ModeMultiscalar)
-	if err != nil {
-		t.Fatal(err)
-	}
+	prog := mustAssemble(t, src, multiscalar.ModeMultiscalar)
 	if err := multiscalar.Partition(prog, multiscalar.PartitionOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if len(prog.Tasks) < 2 {
 		t.Fatalf("tasks = %d", len(prog.Tasks))
 	}
-	res, err := multiscalar.Verify(prog, multiscalar.DefaultConfig(4, 1, false))
+	res, err := multiscalar.Run(prog, multiscalar.DefaultConfig(4, 1, false), multiscalar.WithVerify())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,16 +178,13 @@ func TestFacadeConfigDefaults(t *testing.T) {
 }
 
 func TestFacadeAssembleError(t *testing.T) {
-	if _, err := multiscalar.Assemble("main:\n\tbogus $t0\n", multiscalar.ModeScalar); err == nil {
+	if _, err := multiscalar.Assemble("main:\n\tbogus $t0\n"); err == nil {
 		t.Error("expected assemble error")
 	}
 }
 
 func TestFacadeSaveLoadProgram(t *testing.T) {
-	prog, err := multiscalar.Assemble(apiDemo, multiscalar.ModeMultiscalar)
-	if err != nil {
-		t.Fatal(err)
-	}
+	prog := mustAssemble(t, apiDemo, multiscalar.ModeMultiscalar)
 	var buf bytes.Buffer
 	if err := multiscalar.SaveProgram(&buf, prog); err != nil {
 		t.Fatal(err)
@@ -176,7 +193,7 @@ func TestFacadeSaveLoadProgram(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := multiscalar.Verify(back, multiscalar.DefaultConfig(4, 1, false))
+	res, err := multiscalar.Run(back, multiscalar.DefaultConfig(4, 1, false), multiscalar.WithVerify())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,11 +23,11 @@ func TestTestdataPrograms(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			scProg, err := multiscalar.Assemble(string(src), multiscalar.ModeScalar)
+			sc, err := multiscalar.Assemble(string(src))
 			if err != nil {
 				t.Fatalf("scalar assemble: %v", err)
 			}
-			oracle, err := multiscalar.Interpret(scProg, 1<<24)
+			oracle, err := multiscalar.Interpret(sc.Prog, multiscalar.WithMaxInstrs(1<<24))
 			if err != nil {
 				t.Fatalf("interpret: %v", err)
 			}
@@ -35,17 +35,18 @@ func TestTestdataPrograms(t *testing.T) {
 				t.Fatalf("exit code %d", oracle.ExitCode)
 			}
 
-			msProg, err := multiscalar.Assemble(string(src), multiscalar.ModeMultiscalar)
+			ms, err := multiscalar.Assemble(string(src), multiscalar.WithMode(multiscalar.ModeMultiscalar))
 			if err != nil {
 				t.Fatalf("multiscalar assemble: %v", err)
 			}
+			msProg := ms.Prog
 			if len(msProg.Tasks) == 0 {
 				// Un-annotated example: partition it automatically.
 				if err := multiscalar.Partition(msProg, multiscalar.PartitionOptions{}); err != nil {
 					t.Fatalf("partition: %v", err)
 				}
 			}
-			res, err := multiscalar.Verify(msProg, multiscalar.DefaultConfig(8, 1, false))
+			res, err := multiscalar.Run(msProg, multiscalar.DefaultConfig(8, 1, false), multiscalar.WithVerify())
 			if err != nil {
 				t.Fatalf("verify: %v", err)
 			}
