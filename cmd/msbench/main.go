@@ -17,6 +17,10 @@
 //	msbench -ablate
 //	msbench -all -seq             force the sequential path
 //	msbench -all -json out.json   also write a timing/throughput report
+//	msbench -all -noskip          force the dense per-cycle simulation loop
+//	msbench -all -json out.json -baseline BENCH.json -tolerance 0.25
+//	                              compare per-section wall clock against a
+//	                              checked-in baseline; exit 1 on regression
 package main
 
 import (
@@ -43,6 +47,9 @@ func main() {
 		par        = flag.Int("par", 0, "cap concurrent simulation jobs (default GOMAXPROCS)")
 		jsonOut    = flag.String("json", "", "write a machine-readable timing/throughput report to this file (- for stdout)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		noskip     = flag.Bool("noskip", false, "disable the simulator's wakeup scheduler (dense per-cycle ticking; tables are byte-identical either way)")
+		baseline   = flag.String("baseline", "", "compare the -json report's section times against this checked-in BENCH_*.json and exit 1 on regression")
+		tolerance  = flag.Float64("tolerance", 0.25, "allowed fractional slowdown per section for -baseline (0.25 = +25%)")
 	)
 	flag.Parse()
 
@@ -51,6 +58,7 @@ func main() {
 	} else if *par > 0 {
 		bench.SetWorkers(*par)
 	}
+	bench.SetNoSkip(*noskip)
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		check(err)
@@ -132,13 +140,29 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *jsonOut != "" {
+	if *jsonOut != "" || *baseline != "" {
 		data, err := report.Finalize()
 		check(err)
 		if *jsonOut == "-" {
 			fmt.Println(string(data))
-		} else {
+		} else if *jsonOut != "" {
 			check(os.WriteFile(*jsonOut, append(data, '\n'), 0o644))
+		}
+		if *baseline != "" {
+			raw, err := os.ReadFile(*baseline)
+			check(err)
+			base, err := bench.ReadReport(raw)
+			check(err)
+			cur, err := bench.ReadReport(data)
+			check(err)
+			if regressions := bench.Compare(base, cur, *tolerance); len(regressions) > 0 {
+				fmt.Fprintf(os.Stderr, "msbench: performance regressions vs %s:\n", *baseline)
+				for _, r := range regressions {
+					fmt.Fprintln(os.Stderr, "  "+r)
+				}
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "msbench: within %.0f%% of baseline %s\n", 100**tolerance, *baseline)
 		}
 	}
 }

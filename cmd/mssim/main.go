@@ -32,6 +32,8 @@ func main() {
 		mstrc    = flag.String("mstrc", "", "record an event trace to this .mstrc file (render with mstrace)")
 		stdin    = flag.Bool("stdin", false, "feed standard input to the program (read-char syscall)")
 		showOut  = flag.Bool("out", false, "print the program's output")
+		stats    = flag.Bool("stats", false, "print simulator statistics (cycles simulated vs ticked, skip ratio)")
+		noskip   = flag.Bool("noskip", false, "disable the wakeup scheduler (dense per-cycle ticking; results are identical)")
 	)
 	flag.Parse()
 
@@ -74,6 +76,7 @@ func main() {
 			cfg.Trace = os.Stdout
 		}
 	}
+	cfg.NoSkip = *noskip
 	opts := append(runOpts, multiscalar.WithVerify())
 	if *mstrc != "" {
 		f, err := os.Create(*mstrc)
@@ -119,6 +122,15 @@ func main() {
 	if res.ARBViolations+res.ARBStoreForwards > 0 {
 		fmt.Printf("arb:          %d violations, %d store-forwards, %d overflows\n",
 			res.ARBViolations, res.ARBStoreForwards, res.ARBOverflows)
+	}
+	if *stats {
+		skipped := res.Cycles - res.CyclesTicked
+		pct := 0.0
+		if res.Cycles > 0 {
+			pct = 100 * float64(skipped) / float64(res.Cycles)
+		}
+		fmt.Printf("simulator:    %d cycles_simulated, %d cycles_ticked (%.1f%% skipped)\n",
+			res.Cycles, res.CyclesTicked, pct)
 	}
 	if *showOut {
 		fmt.Printf("output: %s\n", res.Out)

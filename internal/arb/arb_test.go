@@ -230,6 +230,40 @@ func TestOverflow(t *testing.T) {
 	}
 }
 
+// TestOverflowCountsEachAttempt pins the retry contract the timing
+// loop's wakeup scheduler depends on: every failed allocation attempt
+// increments Overflows (and emits a trace event when a sink is
+// attached), so a unit retrying an overflowed access each cycle is a
+// visible state change per cycle. The core marks those retry cycles as
+// progress and never skips across them (internal/pu tryIssue,
+// docs/perf.md); if overflow attempts ever became idempotent, that
+// marking — and this test — should change together.
+func TestOverflowCountsEachAttempt(t *testing.T) {
+	a, m := newTestARB(4, PolicyStall)
+	a.EntriesPerBank = 2
+	a.Store(1, 0, 4, 0*8, 4, 1)
+	a.Store(1, 0, 4, 4*8, 4, 1)
+	if a.Overflows != 0 {
+		t.Fatalf("Overflows = %d before any failure", a.Overflows)
+	}
+	// The same denied access, retried three times (three cycles).
+	for i := 1; i <= 3; i++ {
+		if res := a.Store(1, 0, 4, 8*8, 4, 1); !res.Overflow {
+			t.Fatalf("attempt %d: expected overflow", i)
+		}
+		if a.Overflows != uint64(i) {
+			t.Fatalf("Overflows = %d after %d attempts", a.Overflows, i)
+		}
+	}
+	// A denied tracked load counts the same way.
+	if r := a.Load(2, 0, 4, 8*8, 4, m); !r.Overflow {
+		t.Fatal("tracked load should overflow")
+	}
+	if a.Overflows != 4 {
+		t.Fatalf("Overflows = %d, want 4", a.Overflows)
+	}
+}
+
 func TestView(t *testing.T) {
 	a, m := newTestARB(4, PolicyStall)
 	m.WriteBytes(0x100, []byte("abcdef"))

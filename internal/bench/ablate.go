@@ -24,6 +24,7 @@ type AblationRow struct {
 // the oracle reference o (the memoized functional run of the same
 // program — or of a semantically equivalent transform of it).
 func runMSConfig(p *isa.Program, o Oracle, cfg core.Config) (*core.Result, error) {
+	applyRunFlags(&cfg)
 	res, err := multiscalar.Run(p, cfg)
 	if err != nil {
 		return nil, err

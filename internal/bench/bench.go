@@ -106,6 +106,7 @@ func runOne(w *workloads.Workload, scale Scale, units, width int, ooo bool) (*co
 	} else {
 		cfg = core.DefaultConfig(units, width, ooo)
 	}
+	applyRunFlags(&cfg)
 	res, err := multiscalar.Run(p, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s units=%d width=%d ooo=%v: %w", w.Name, units, width, ooo, err)

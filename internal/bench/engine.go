@@ -162,13 +162,33 @@ func cloneProgram(p *isa.Program) *isa.Program {
 	return &q
 }
 
+// noSkip, when set, disables the simulator's wakeup scheduler for every
+// harness run (core.Config.NoSkip): the msbench -noskip flag, used to
+// demonstrate that tables are byte-identical with and without cycle
+// skipping and to measure the skip's wall-clock effect.
+var noSkip atomic.Bool
+
+// SetNoSkip forces dense ticking (no cycle skipping) in all subsequent
+// harness simulations.
+func SetNoSkip(v bool) { noSkip.Store(v) }
+
+// applyRunFlags applies process-wide harness toggles to one run's config.
+func applyRunFlags(cfg *core.Config) {
+	if noSkip.Load() {
+		cfg.NoSkip = true
+	}
+}
+
 // Aggregate simulated-work counters behind the JSON report's throughput
 // numbers. Every verified timing run adds its cycles and committed
-// instructions.
-var simCycles, simInstrs, simRuns atomic.Uint64
+// instructions; ticked counts the cycles the timing loops actually
+// executed (cycles-ticked < cycles means the wakeup scheduler jumped
+// stall windows — the skip ratio the JSON report derives).
+var simCycles, simTicked, simInstrs, simRuns atomic.Uint64
 
 func recordRun(res *core.Result) {
 	simCycles.Add(res.Cycles)
+	simTicked.Add(res.CyclesTicked)
 	simInstrs.Add(res.Committed)
 	simRuns.Add(1)
 }
@@ -178,3 +198,8 @@ func recordRun(res *core.Result) {
 func SimTotals() (runs, cycles, instrs uint64) {
 	return simRuns.Load(), simCycles.Load(), simInstrs.Load()
 }
+
+// SimTicked reports the cumulative cycles the timing loops actually
+// executed (see SimTotals; the difference from cycles is what the wakeup
+// scheduler skipped).
+func SimTicked() uint64 { return simTicked.Load() }

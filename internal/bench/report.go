@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"runtime"
 	"time"
 )
@@ -30,9 +31,15 @@ type Report struct {
 	TotalSeconds float64   `json:"total_seconds"`
 
 	// Simulated work completed, summed over every verified timing run.
-	SimRuns         uint64 `json:"sim_runs"`
-	SimCycles       uint64 `json:"sim_cycles"`
-	SimInstructions uint64 `json:"sim_instructions"`
+	// SimCycles counts simulated machine cycles; SimCyclesTicked counts the
+	// cycles the timing loops actually executed — the difference is what
+	// the wakeup scheduler skipped (docs/perf.md), and CycleSkipRatio is
+	// that difference as a fraction of SimCycles.
+	SimRuns         uint64  `json:"sim_runs"`
+	SimCycles       uint64  `json:"sim_cycles"`
+	SimCyclesTicked uint64  `json:"sim_cycles_ticked"`
+	CycleSkipRatio  float64 `json:"cycle_skip_ratio"`
+	SimInstructions uint64  `json:"sim_instructions"`
 	// Builds that actually ran (memo misses): assemble + functional
 	// oracle executions.
 	Builds uint64 `json:"builds"`
@@ -75,10 +82,55 @@ func (r *Report) Finalize() ([]byte, error) {
 		r.TotalSeconds += s.Seconds
 	}
 	r.SimRuns, r.SimCycles, r.SimInstructions = SimTotals()
+	r.SimCyclesTicked = SimTicked()
+	if r.SimCycles > 0 {
+		r.CycleSkipRatio = float64(r.SimCycles-r.SimCyclesTicked) / float64(r.SimCycles)
+	}
 	r.Builds = BuildsPerformed()
 	if r.TotalSeconds > 0 {
 		r.MSimCyclesPerSec = float64(r.SimCycles) / r.TotalSeconds / 1e6
 		r.MIPS = float64(r.SimInstructions) / r.TotalSeconds / 1e6
 	}
 	return json.MarshalIndent(r, "", "  ")
+}
+
+// ReadReport parses a JSON report written by Finalize (a checked-in
+// BENCH_*.json baseline).
+func ReadReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Compare checks cur against a baseline report section by section and
+// returns one human-readable line per regression: a section whose
+// wall-clock time grew by more than tolerance (a fraction; 0.25 allows
+// +25%), or a baseline section missing from cur. Sections faster than
+// the baseline, new sections, and sub-100ms baseline sections (pure
+// noise) never regress. An empty slice means cur is within tolerance.
+func Compare(base, cur *Report, tolerance float64) []string {
+	curSec := make(map[string]float64, len(cur.Sections))
+	for _, s := range cur.Sections {
+		curSec[s.Name] = s.Seconds
+	}
+	var regressions []string
+	for _, b := range base.Sections {
+		if b.Seconds < 0.1 {
+			continue
+		}
+		c, ok := curSec[b.Name]
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("section %q: in baseline (%.2fs) but not in current run", b.Name, b.Seconds))
+			continue
+		}
+		if c > b.Seconds*(1+tolerance) {
+			regressions = append(regressions,
+				fmt.Sprintf("section %q: %.2fs vs baseline %.2fs (+%.0f%%, tolerance %.0f%%)",
+					b.Name, c, b.Seconds, 100*(c/b.Seconds-1), 100*tolerance))
+		}
+	}
+	return regressions
 }

@@ -45,6 +45,43 @@ func BenchmarkScalarCore(b *testing.B) {
 	}
 }
 
+// BenchmarkStallHeavy measures the wakeup scheduler's target case: a
+// single multiscalar unit (every non-head activity serializes) with
+// inflated memory and FP latencies, so most cycles are provable stalls.
+// The skip/dense sub-benchmarks run the identical simulation with the
+// scheduler on and off; their mcycles/s ratio is the scheduler's win.
+func BenchmarkStallHeavy(b *testing.B) {
+	p := buildFor(b, "compress", asm.ModeMultiscalar)
+	for _, mode := range []struct {
+		name   string
+		noSkip bool
+	}{{"skip", false}, {"dense", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := core.DefaultConfig(1, 1, false)
+			cfg.DCacheHit = 24 // loads are timed by the cache, not isa.Latencies
+			cfg.Latencies.IntMul = 24
+			cfg.Latencies.SPMul = 40
+			cfg.NoSkip = mode.noSkip
+			var cycles, ticked uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := core.NewMultiscalar(p, interp.NewSysEnv(), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := m.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Cycles
+				ticked += res.CyclesTicked
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds()/1e6, "mcycles/s")
+			b.ReportMetric(100*float64(cycles-ticked)/float64(cycles), "%skipped")
+		})
+	}
+}
+
 func BenchmarkMultiscalarCore8Units(b *testing.B) {
 	for _, name := range []string{"wc", "compress", "tomcatv"} {
 		b.Run(name, func(b *testing.B) {

@@ -63,6 +63,15 @@ type Config struct {
 	MaxCycles     uint64
 	CheckForwards bool // verify forwarded values equal final task values
 
+	// NoSkip disables the wakeup scheduler: the timing loop ticks every
+	// unit every cycle, even through stall windows it could prove
+	// unchanging and jump over. Results and event traces are identical
+	// either way — that equivalence is what the skip logic is tested
+	// against (docs/perf.md) — so the flag exists for debugging and for
+	// those tests. A per-cycle text Trace also forces dense ticking,
+	// since its output has one line per cycle.
+	NoSkip bool
+
 	// Trace, when non-nil, receives one compact line per cycle: the head
 	// pointer, active count, and a glyph per unit (. idle, * compute,
 	// p wait-pred, m wait-intra, r wait-retire), ordered physically.

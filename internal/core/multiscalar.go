@@ -101,6 +101,18 @@ type Multiscalar struct {
 	finished bool
 	now      uint64
 
+	// Wakeup scheduler (docs/perf.md). progress records whether the
+	// sequencer changed any state this cycle (assignment, prediction,
+	// forward, validation, squash, retire); together with the units' own
+	// Progressed flags it decides whether the cycle was a pure stall the
+	// loop may skip past. ticked counts the cycles actually executed.
+	progress bool
+	ticked   uint64
+
+	// glyphs is traceCycle's per-unit activity line, hoisted here so the
+	// per-cycle text trace allocates nothing per cycle.
+	glyphs []byte
+
 	// Event tracing (Config.Sink). nextSeq numbers task assignments so
 	// every trace event about a task carries a stable identity.
 	sink    trace.Sink
@@ -174,6 +186,7 @@ func NewMultiscalar(prog *isa.Program, env *interp.SysEnv, cfg Config) (*Multisc
 	m.sendAt = make([]uint64, cfg.NumUnits)
 	m.sendN = make([]int, cfg.NumUnits)
 	m.sendBusy = make([]uint64, cfg.NumUnits)
+	m.glyphs = make([]byte, cfg.NumUnits)
 
 	// Initial architectural register state.
 	var arch [isa.NumRegs]interp.Value
@@ -193,19 +206,38 @@ func (m *Multiscalar) dist(u int) int {
 func (m *Multiscalar) withinActive(u int) bool { return m.dist(u) < m.active }
 
 // Run executes the program to completion.
+//
+// The loop is event-driven: it ticks every unit densely, but after a
+// cycle in which nothing progressed — no unit issued, retired, completed,
+// dispatched, fetched or touched the memory system, and the sequencer
+// assigned, predicted, forwarded, validated, squashed and retired
+// nothing — every following cycle is provably identical until the next
+// latched timestamp fires (a functional-unit completion, a cache fill, a
+// ring delivery, the pending descriptor fetch). The scheduler jumps
+// straight to that cycle and bulk-accounts the skipped stall cycles into
+// the same counters the dense loop would have produced, so Result and
+// event traces are bit-identical either way (Config.NoSkip keeps the
+// dense loop for debugging; see docs/perf.md for the argument).
 func (m *Multiscalar) Run() (*Result, error) {
+	skip := !m.cfg.NoSkip && m.cfg.Trace == nil
 	for !m.finished {
 		if m.now >= m.cfg.MaxCycles {
 			return nil, fmt.Errorf("core: multiscalar run exceeded %d cycles (deadlock?)", m.cfg.MaxCycles)
 		}
+		m.ticked++
+		m.progress = false
 		if m.sink != nil {
 			m.arb.Now = m.now // the ARB has no clock of its own
 		}
 		m.assign(m.now)
+		unitProgress := false
 		for i := 0; i < m.cfg.NumUnits; i++ {
 			idx := (m.head + i) % m.cfg.NumUnits
 			if _, err := m.units[idx].Tick(m.now); err != nil {
 				return nil, err
+			}
+			if m.units[idx].Progressed() {
+				unitProgress = true
 			}
 		}
 		// Idle accounting: units that had no task during this cycle's
@@ -228,6 +260,12 @@ func (m *Multiscalar) Run() (*Result, error) {
 		}
 		if m.cfg.Trace != nil {
 			m.traceCycle()
+		}
+		if skip && !unitProgress && !m.progress {
+			if t := m.nextWake(m.now); t > m.now+1 {
+				m.skipTo(t)
+				continue
+			}
 		}
 		m.now++
 	}
@@ -263,16 +301,61 @@ func (m *Multiscalar) finish() {
 	m.finished = true
 }
 
+// nextWake returns the earliest future cycle at which anything in the
+// machine can change state: the pending assignment's descriptor fetch
+// completing, any unit's next latched timestamp (functional-unit
+// completion, cache fill finishing a fetch), or — for a unit stalled on
+// an external register read — the arrival of an in-flight ring delivery.
+// pu.NoEvent means no latched event exists; the machine is deadlocked
+// and the jump clamps to MaxCycles, where Run reports it exactly as the
+// dense loop would.
+func (m *Multiscalar) nextWake(now uint64) uint64 {
+	t := pu.NoEvent
+	if m.pending.valid && m.pending.ready > now && m.pending.ready < t {
+		t = m.pending.ready
+	}
+	for i, u := range m.units {
+		if w := u.NextEvent(now); w < t {
+			t = w
+		}
+		if u.WaitingExt() {
+			if w := m.rfs[i].nextReady(now); w < t {
+				t = w
+			}
+		}
+	}
+	return t
+}
+
+// skipTo advances the clock from now to cycle t (exclusive of the cycle
+// already executed at now), charging the skipped stall cycles to the
+// same per-unit activity counters and the machine idle counter that the
+// dense loop would have incremented one cycle at a time. Within the
+// skipped window no unit changes activity class (nothing progressed and
+// no timestamp fires before t), so bulk accounting is exact.
+func (m *Multiscalar) skipTo(t uint64) {
+	if t > m.cfg.MaxCycles {
+		t = m.cfg.MaxCycles
+	}
+	k := t - (m.now + 1)
+	for i := 0; i < m.cfg.NumUnits; i++ {
+		m.units[i].AddStallCycles(k)
+		if !m.units[i].Active() {
+			m.activity[pu.ActIdle] += k
+		}
+	}
+	m.now = t
+}
+
 var actGlyphs = [pu.NumActivities]byte{'.', '*', 'p', 'm', 'r'}
 
 // traceCycle emits one compact line describing this cycle.
 func (m *Multiscalar) traceCycle() {
-	glyphs := make([]byte, m.cfg.NumUnits)
 	for i, u := range m.units {
-		glyphs[i] = actGlyphs[u.LastActivity()]
+		m.glyphs[i] = actGlyphs[u.LastActivity()]
 	}
 	fmt.Fprintf(m.cfg.Trace, "%8d head=%d active=%d [%s] retired=%d squashed=%d\n",
-		m.now, m.head, m.active, glyphs, m.tasksRetired, m.tasksSquashed)
+		m.now, m.head, m.active, m.glyphs, m.tasksRetired, m.tasksSquashed)
 }
 
 func (m *Multiscalar) foldActivity(unit int, retired bool) {
@@ -301,6 +384,7 @@ func (m *Multiscalar) result() *Result {
 	}
 	return &Result{
 		Cycles:           m.now,
+		CyclesTicked:     m.ticked,
 		Committed:        m.committed,
 		Out:              m.env.Out.String(),
 		ExitCode:         m.env.ExitCode,

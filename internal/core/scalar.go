@@ -66,13 +66,31 @@ func (s *Scalar) Run() (*Result, error) {
 		s.cfg.Sink.Emit(trace.Event{Cycle: 0, Kind: trace.KTaskAssign, Unit: 0, Task: 0, Arg: s.prog.Entry})
 	}
 	s.unit.Start(s.prog.Entry, 0)
-	var now uint64
+	var now, ticked uint64
+	// Same wakeup scheduler as the multiscalar loop (docs/perf.md), with
+	// only the unit itself to consult: after a cycle in which the unit
+	// changed no state, jump to its next latched timestamp (functional-unit
+	// completion or instruction-cache fill) and bulk-account the stall.
+	// The scalar Ext has no external registers or sequencer, so the unit's
+	// own NextEvent is the complete wakeup set.
+	skip := !s.cfg.NoSkip && s.cfg.Trace == nil
 	for !s.env.Exited {
 		if now >= s.cfg.MaxCycles {
 			return nil, fmt.Errorf("core: scalar run exceeded %d cycles", s.cfg.MaxCycles)
 		}
+		ticked++
 		if _, err := s.unit.Tick(now); err != nil {
 			return nil, err
+		}
+		if skip && !s.unit.Progressed() && !s.env.Exited {
+			if t := s.unit.NextEvent(now); t > now+1 {
+				if t > s.cfg.MaxCycles {
+					t = s.cfg.MaxCycles
+				}
+				s.unit.AddStallCycles(t - (now + 1))
+				now = t
+				continue
+			}
 		}
 		now++
 	}
@@ -83,6 +101,7 @@ func (s *Scalar) Run() (*Result, error) {
 	}
 	res := &Result{
 		Cycles:       now,
+		CyclesTicked: ticked,
 		Committed:    s.unit.Retired,
 		Out:          s.env.Out.String(),
 		ExitCode:     s.env.ExitCode,

@@ -64,6 +64,7 @@ func (m *Multiscalar) assign(now uint64) {
 	ready := m.descCache.Access(now, entry, false)
 	if ready > now {
 		m.pending = pendingAssign{valid: true, ready: ready, entry: entry, desc: desc}
+		m.progress = true // descriptor fetch started; nextWake watches pending.ready
 		return
 	}
 	m.doAssign(entry, desc, now)
@@ -71,10 +72,18 @@ func (m *Multiscalar) assign(now uint64) {
 
 // predictSuccessor chooses the next task after `last`, recording the
 // bookkeeping needed to validate, train, and recover.
+//
+// Progress marking: the no-prediction failure path (empty return stack
+// without a dynamic Predict call) is idempotent — re-running it next
+// cycle touches nothing — so it alone does not keep the wakeup scheduler
+// ticking densely. Everything else here mutates machine state (the
+// terminal latch, the predictor's histories via Predict, the RAS and the
+// predMade bookkeeping on success) and must mark progress.
 func (m *Multiscalar) predictSuccessor(last *taskState) (uint32, bool) {
 	desc := last.desc
 	if len(desc.Targets) == 0 {
 		m.terminal = true
+		m.progress = true
 		return 0, false
 	}
 	last.histSnap = m.predictor.Snapshot()
@@ -85,6 +94,7 @@ func (m *Multiscalar) predictSuccessor(last *taskState) (uint32, bool) {
 	counts := len(desc.Targets) > 1
 	if counts && !m.cfg.StaticPredict {
 		idx = m.predictor.Predict(desc.Entry) % len(desc.Targets)
+		m.progress = true // Predict shifts histories and emits trace events
 	}
 	tgt := desc.Targets[idx]
 	var entry uint32
@@ -106,10 +116,12 @@ func (m *Multiscalar) predictSuccessor(last *taskState) (uint32, bool) {
 	last.predCounts = counts
 	last.predIdx = idx
 	last.predEntry = entry
+	m.progress = true
 	return entry, true
 }
 
 func (m *Multiscalar) doAssign(entry uint32, desc *isa.TaskDescriptor, now uint64) {
+	m.progress = true
 	unit := (m.head + m.active) % m.cfg.NumUnits
 	seq := m.nextSeq
 	m.nextSeq++
@@ -180,6 +192,7 @@ func (m *Multiscalar) forward(p int, now uint64, r isa.Reg, v interp.Value) {
 		return
 	}
 	rf.sent = rf.sent.Set(r)
+	m.progress = true // a new value enters the ring (also reached from tryFlush)
 
 	// Send-slot pacing.
 	sc := now
@@ -265,6 +278,7 @@ func (m *Multiscalar) retire(now uint64) error {
 	if !flushed {
 		return nil
 	}
+	m.progress = true // the head task retires this cycle
 
 	actual := u.ExitPC()
 	if len(ts.desc.Targets) > 0 && !ts.validated {
@@ -363,6 +377,7 @@ func (m *Multiscalar) validateCompleted(now uint64) {
 // control-squash everything after the task on a miss. dist is the task's
 // distance from the head.
 func (m *Multiscalar) validateOne(dist int, ts *taskState, actual uint32, outcomeIdx int, now uint64) {
+	m.progress = true
 	ts.validated = true
 	if ts.predCounts {
 		m.predictions++
@@ -419,6 +434,7 @@ func (m *Multiscalar) validateOne(dist int, ts *taskState, actual uint32, outcom
 // execution following it). The same tasks restart — their predictions
 // remain valid.
 func (m *Multiscalar) memoryViolationSquash(now uint64) {
+	m.progress = true
 	w := m.viol
 	m.viol = -1
 	if !m.withinActive(w) || m.dist(w) == 0 {
@@ -458,6 +474,7 @@ func (m *Multiscalar) arbOverflowSquash(now uint64) bool {
 	if m.active <= 1 {
 		return false // never squash the head
 	}
+	m.progress = true
 	tail := (m.head + m.active - 1) % m.cfg.NumUnits
 	m.foldActivity(tail, false)
 	m.tasksSquashed++

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"multiscalar/internal/arb"
+	"multiscalar/internal/asm"
+	"multiscalar/internal/interp"
+	"multiscalar/internal/taskpart"
+	"multiscalar/internal/trace"
+)
+
+// TestSkipMatchesDense is the wakeup scheduler's equivalence property
+// test: across random programs and machine configurations, a skipping run
+// must produce a bit-identical Result (modulo CyclesTicked, the one field
+// defined to differ) and a byte-identical .mstrc event stream compared to
+// the same run with Config.NoSkip set. The configurations deliberately
+// include the stall-heavy corners the scheduler special-cases: single
+// units, squashing ARB overflow with tiny ARBs, shared FP units, and
+// static task prediction.
+func TestSkipMatchesDense(t *testing.T) {
+	trials := 120
+	if testing.Short() {
+		trials = 8
+	}
+	sawSkip := false
+	for trial := 0; trial < trials; trial++ {
+		g := &progGen{r: rand.New(rand.NewSource(int64(7000 + trial)))}
+		src := g.generate()
+
+		prog, err := asm.Assemble(src, asm.ModeMultiscalar)
+		if err != nil {
+			t.Fatalf("trial %d: assemble: %v\n%s", trial, err, src)
+		}
+		if _, err := taskpart.Run(prog, taskpart.Options{SuppressAllCalls: g.r.Intn(2) == 0}); err != nil {
+			t.Fatalf("trial %d: partition: %v\n%s", trial, err, src)
+		}
+
+		units := []int{1, 2, 4, 8}[g.r.Intn(4)]
+		cfg := DefaultConfig(units, 1+g.r.Intn(2), g.r.Intn(2) == 0)
+		cfg.MaxCycles = 50_000_000
+		switch g.r.Intn(4) {
+		case 0:
+			cfg.ARBPolicy = arb.PolicySquash
+			cfg.ARBEntries = 2
+		case 1:
+			cfg.SharedFPUnits = 1
+		case 2:
+			cfg.StaticPredict = true
+		}
+
+		run := func(noskip bool) (*Result, []byte) {
+			c := cfg
+			c.NoSkip = noskip
+			var buf bytes.Buffer
+			w, err := trace.NewWriter(&buf, trace.Meta{NumUnits: c.NumUnits})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Sink = w
+			m, err := NewMultiscalar(prog, interp.NewSysEnv(), c)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			res, err := m.Run()
+			if err != nil {
+				t.Fatalf("trial %d (noskip=%v): %v\n%s", trial, noskip, err, src)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatalf("trial %d: trace close: %v", trial, err)
+			}
+			return res, buf.Bytes()
+		}
+
+		skipRes, skipTrace := run(false)
+		denseRes, denseTrace := run(true)
+
+		if denseRes.CyclesTicked != denseRes.Cycles {
+			t.Fatalf("trial %d: dense run ticked %d of %d cycles",
+				trial, denseRes.CyclesTicked, denseRes.Cycles)
+		}
+		if skipRes.CyclesTicked < skipRes.Cycles {
+			sawSkip = true
+		}
+
+		// CyclesTicked is the one field defined to differ; normalize it
+		// away, then everything else must match exactly.
+		s, d := *skipRes, *denseRes
+		s.CyclesTicked, d.CyclesTicked = 0, 0
+		if s != d {
+			t.Fatalf("trial %d (units=%d): skip result differs from dense:\nskip:  %+v\ndense: %+v\n%s",
+				trial, units, &s, &d, src)
+		}
+		if !bytes.Equal(skipTrace, denseTrace) {
+			t.Fatalf("trial %d (units=%d): event trace differs (skip %d bytes, dense %d bytes)\n%s",
+				trial, units, len(skipTrace), len(denseTrace), src)
+		}
+	}
+	if !sawSkip {
+		t.Fatal("no run ever skipped a cycle: the wakeup scheduler never engaged")
+	}
+}
+
+// TestScalarSkipMatchesDense is the scalar machine's version of the
+// equivalence property.
+func TestScalarSkipMatchesDense(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 8
+	}
+	sawSkip := false
+	for trial := 0; trial < trials; trial++ {
+		g := &progGen{r: rand.New(rand.NewSource(int64(8000 + trial)))}
+		src := g.generate()
+		prog, err := asm.Assemble(src, asm.ModeScalar)
+		if err != nil {
+			t.Fatalf("trial %d: assemble: %v\n%s", trial, err, src)
+		}
+
+		cfg := ScalarConfig(1+g.r.Intn(2), g.r.Intn(2) == 0)
+		run := func(noskip bool) *Result {
+			c := cfg
+			c.NoSkip = noskip
+			res, err := NewScalar(prog, interp.NewSysEnv(), c).Run()
+			if err != nil {
+				t.Fatalf("trial %d (noskip=%v): %v\n%s", trial, noskip, err, src)
+			}
+			return res
+		}
+		skipRes := run(false)
+		denseRes := run(true)
+		if denseRes.CyclesTicked != denseRes.Cycles {
+			t.Fatalf("trial %d: dense run ticked %d of %d cycles",
+				trial, denseRes.CyclesTicked, denseRes.Cycles)
+		}
+		if skipRes.CyclesTicked < skipRes.Cycles {
+			sawSkip = true
+		}
+		s, d := *skipRes, *denseRes
+		s.CyclesTicked, d.CyclesTicked = 0, 0
+		if s != d {
+			t.Fatalf("trial %d: skip result differs from dense:\nskip:  %+v\ndense: %+v\n%s",
+				trial, &s, &d, src)
+		}
+	}
+	if !sawSkip {
+		t.Fatal("no scalar run ever skipped a cycle")
+	}
+}

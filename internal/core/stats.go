@@ -11,6 +11,14 @@ type Result struct {
 	Cycles    uint64
 	Committed uint64 // dynamic instructions of retired (non-squashed) tasks
 
+	// CyclesTicked counts the cycles the timing loop actually executed;
+	// the remaining Cycles-CyclesTicked were stall cycles the wakeup
+	// scheduler proved unchanging and accounted in bulk (Config.NoSkip
+	// forces the two equal). Observability only — it is the one Result
+	// field that legitimately differs between skipping and dense runs of
+	// the same simulation.
+	CyclesTicked uint64
+
 	// Program-visible outcome (must match the functional interpreter).
 	Out      string
 	ExitCode int32

@@ -6,7 +6,10 @@ import "multiscalar/internal/trace"
 // Section 5.1: every memory request (icache and dcache misses alike) pays
 // a 10-cycle access latency for the first 4 words and 1 cycle for each
 // additional 4 words, serialized with any other traffic (the paper's
-// "plus any bus contention").
+// "plus any bus contention"). Like Cache.Access, Access returns the
+// completion cycle synchronously and latches contention in busyUntil —
+// the timestamp-latching property the core's wakeup scheduler depends
+// on (docs/perf.md).
 type Bus struct {
 	FirstLatency int // cycles for the first 4 words (paper: 10)
 	PerChunk     int // cycles per additional 4 words (paper: 1)

@@ -7,6 +7,13 @@ import "multiscalar/internal/trace"
 // tags to decide hit/miss latency, and models non-blocking misses with a
 // small set of outstanding-fetch registers (MSHRs) that merge requests to
 // a block already in flight.
+//
+// Access returns the completion cycle synchronously — there is no event
+// queue and nothing "arrives later". The whole memory system shares this
+// timestamp-latching design (see Bus), and the timing loops in
+// internal/core rely on it: because every future memory effect is a
+// timestamp already held in unit state, the wakeup scheduler can prove a
+// stall window unchanging and skip it (docs/perf.md).
 type Cache struct {
 	Name       string
 	SizeBytes  int

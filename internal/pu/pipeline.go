@@ -169,7 +169,12 @@ func (u *Unit) tryIssue(now uint64, idx int, e *robEntry, fuUsed *[isa.NumFUClas
 		}
 		v, done, ok := u.ext.Load(now, in.Op, addr)
 		if !ok {
-			return false, nil // ARB overflow: retry
+			// ARB overflow: retry next cycle. Each attempt counts (the
+			// ARB's Overflows statistic, possibly an overflow squash), so
+			// overflow-retry cycles must stay dense — mark them as progress
+			// and the wakeup scheduler will not skip them.
+			u.progressed = true
+			return false, nil
 		}
 		e.val = v
 		e.doneAt = done
@@ -181,6 +186,7 @@ func (u *Unit) tryIssue(now uint64, idx int, e *robEntry, fuUsed *[isa.NumFUClas
 		}
 		done, ok := u.ext.Store(now, in.Op, addr, rtV)
 		if !ok {
+			u.progressed = true // overflow retry: see the load case above
 			return false, nil
 		}
 		e.doneAt = done
@@ -266,6 +272,9 @@ func (u *Unit) dispatch(now uint64) {
 		})
 		n++
 	}
+	if n > 0 {
+		u.progressed = true
+	}
 }
 
 // fetch pulls up to four instructions per cycle from the instruction
@@ -281,7 +290,8 @@ func (u *Unit) fetch(now uint64) {
 	group := u.pc &^ 15
 	if u.fetchGroup != group {
 		u.fetchGroup = group
-		u.fetchReady = u.ext.FetchDone(now, group)
+		u.fetchReady = u.ext.FetchDone(now, group) // icache access: state changed
+		u.progressed = true
 	}
 	if u.fetchReady > now {
 		return
@@ -334,6 +344,7 @@ func (u *Unit) fetch(now uint64) {
 		}
 
 		u.fetchQ = append(u.fetchQ, f)
+		u.progressed = true
 
 		if stop {
 			u.fetchStopped = true

@@ -46,6 +46,11 @@ type Ext interface {
 	Syscall(now uint64) (v0 uint32, writesV0 bool, handled bool, err error)
 }
 
+// NoEvent is NextEvent's sentinel: the unit cannot make progress on its
+// own — only an external action (a task assignment, a predecessor's
+// retirement, a ring delivery) can change its state.
+const NoEvent = ^uint64(0)
+
 // SharedFUs is an optional extension of Ext: when the environment
 // implements it, the unit asks permission before starting an operation on
 // a shared functional-unit class. This models the alternative
@@ -180,6 +185,14 @@ type Unit struct {
 	startCycle uint64
 	lastAct    Activity
 
+	// progressed records whether the last Tick changed any state — unit
+	// pipeline state or, through the Ext, the machine's (a forward, a
+	// cache or ARB access). A cycle in which no unit progressed and the
+	// sequencer did nothing is a pure stall cycle: every subsequent cycle
+	// is provably identical until the next latched timestamp fires, which
+	// is what lets the wakeup scheduler skip ahead (docs/perf.md).
+	progressed bool
+
 	// Tracing. taskSeq labels events with the owner-assigned task
 	// sequence number; emitAct deduplicates KUnitActivity events so one
 	// is emitted only when the classification changes.
@@ -295,6 +308,7 @@ func (u *Unit) Squash() {
 // Tick advances the unit by one cycle. It returns the number of
 // instructions locally retired this cycle and any fatal error.
 func (u *Unit) Tick(now uint64) (int, error) {
+	u.progressed = false
 	if !u.active {
 		u.ActCounts[ActIdle]++
 		u.lastAct = ActIdle
@@ -317,6 +331,9 @@ func (u *Unit) Tick(now uint64) (int, error) {
 	}
 	u.dispatch(now)
 	u.fetch(now)
+	if u.issuedNow > 0 || u.retiredNow > 0 {
+		u.progressed = true
+	}
 
 	u.lastAct = u.classify()
 	u.ActCounts[u.lastAct]++
@@ -344,6 +361,48 @@ func (u *Unit) classify() Activity {
 	}
 }
 
+// Progressed reports whether the last Tick changed any state. The wakeup
+// scheduler only considers skipping after a cycle in which no unit
+// progressed (and the sequencer did nothing).
+func (u *Unit) Progressed() bool { return u.progressed }
+
+// WaitingExt reports whether the last Tick blocked an issue on an
+// external register read (Ext.ReadReg not ready). The owning machine
+// translates this into a wakeup time from its register-file delivery
+// timing, which the unit cannot see.
+func (u *Unit) WaitingExt() bool { return u.waitingExt }
+
+// NextEvent returns the earliest future cycle at which this unit's state
+// can change on its own: the earliest in-flight completion (nextDone) or
+// the instruction-cache fill the fetch stage is waiting on. NoEvent
+// means the unit is fully blocked on external action — an assignment, a
+// predecessor's retirement or syscall turn at the head, or a ring
+// delivery (see WaitingExt). Waking early is always safe — the dense
+// tick re-derives everything — so the scheduler relies only on the
+// result never being later than the unit's true next state change;
+// nextDone may be stale-low after entry removal, which just costs an
+// early wake.
+func (u *Unit) NextEvent(now uint64) uint64 {
+	if !u.active || u.done {
+		return NoEvent
+	}
+	t := NoEvent
+	if u.nextDone > now {
+		t = u.nextDone
+	}
+	if !u.fetchStopped && u.fetchReady > now && u.fetchReady < t {
+		t = u.fetchReady
+	}
+	return t
+}
+
+// AddStallCycles bulk-accounts k cycles identical to the unit's last
+// ticked cycle. The wakeup scheduler calls this instead of ticking the
+// unit through a window it has proven unchanging, so the per-activity
+// counters match the dense loop bit for bit (a stalled cycle's
+// classification cannot change until some latched timestamp fires).
+func (u *Unit) AddStallCycles(k uint64) { u.ActCounts[u.lastAct] += k }
+
 // complete transitions issued entries whose latency has elapsed to done,
 // handling branch resolution and local mis-speculation recovery.
 func (u *Unit) complete(now uint64) {
@@ -360,6 +419,7 @@ func (u *Unit) complete(now uint64) {
 			continue
 		}
 		e.state = stDone
+		u.progressed = true
 		// Control resolution: flush younger work on a wrong path.
 		if e.instr.Op.IsControl() || e.stopResolvable() {
 			if e.actualNext != e.predictedNext {
@@ -397,9 +457,11 @@ func (u *Unit) forwardEarly(now uint64) {
 			case in.Op == isa.OpRelease:
 				u.ext.Forward(now, in.Rs, e.val)
 				e.fwded = true
+				u.progressed = true
 			case in.Fwd && in.Dest() != isa.RegZero:
 				u.ext.Forward(now, in.Dest(), e.val)
 				e.fwded = true
+				u.progressed = true
 			}
 		}
 		// Anything that can redirect or end the task blocks younger
