@@ -39,6 +39,7 @@ func main() {
 		all        = flag.Bool("all", false, "print every table")
 		breakdown  = flag.Bool("breakdown", false, "print the Section 3 cycle distribution")
 		ablate     = flag.Bool("ablate", false, "run the ablation sweeps")
+		annotate   = flag.Bool("annotate", false, "compare hand annotations against the optimizer's (not part of -all; see docs/annotate.md)")
 		sweep      = flag.Bool("sweep", false, "print speedup-vs-units curves (figure-style view)")
 		mix        = flag.Bool("mix", false, "print the dynamic instruction mix of the benchmarks")
 		units      = flag.Int("units", 8, "unit count for -breakdown")
@@ -117,6 +118,16 @@ func main() {
 	}
 	if *ablate || *all {
 		report.Time("ablate", func() { runAblations(scale) })
+		ran = true
+	}
+	// Deliberately not part of -all: the -all output stays byte-identical
+	// with the annotation optimizer present but unused.
+	if *annotate {
+		report.Time("annotate", func() {
+			rows, err := bench.AnnotateAblation(scale)
+			check(err)
+			fmt.Println(bench.FormatAnnotate(rows))
+		})
 		ran = true
 	}
 	if *sweep || *all {

@@ -1,0 +1,80 @@
+package annotate_test
+
+import (
+	"testing"
+
+	"multiscalar/internal/annotate"
+	"multiscalar/internal/asm"
+	"multiscalar/internal/interp"
+	"multiscalar/internal/mslint"
+)
+
+// FuzzAnnotate: the optimizer must never panic on any program the
+// assembler accepts, and — the soundness property — for any lint-clean
+// multiscalar program, the optimized binary must execute equivalently on
+// the functional oracle (same output, same exit, same instruction count:
+// a removed release decays to a nop, so even the count is preserved).
+// Run with `go test -fuzz FuzzAnnotate ./internal/annotate`.
+func FuzzAnnotate(f *testing.F) {
+	// Mirror FuzzLint's seeds so mutation starts near the same
+	// boundaries of the annotation contract.
+	f.Add("main:\n\tli $t0, 1\n\tsyscall\n")
+	f.Add("main:\n\tadd $t0, $t1, $t2 !f !s\n.task main targets=main create=$t0\n")
+	f.Add("main:\n\tblt $t0, $t1, main\n\trelease $t0, $f3\n")
+	f.Add(".msonly move $t9, $s0\n.sconly nop\nmain:\n\tj main !st\n")
+	f.Add("main:\n\tli $s0, 3 !f\n\tj next !s\nnext:\n\tadd $a0, $s0, $zero\n\tli $v0, 1\n\tsyscall\n\tli $v0, 10\n\tli $a0, 0\n\tsyscall\n.task main targets=next create=$s0\n.task next\n")
+	// Optimizer-specific boundaries: a droppable pass-through bit, a
+	// flush-only path wanting a release, and a call whose return
+	// liveness the refinement can consult.
+	f.Add("main:\n\tli $s0, 1 !f\n\tj next !s\nnext:\n\tadd $a0, $s0, $s1\n\tli $v0, 10\n\tli $a0, 0\n\tsyscall\n.task main targets=next create=$s0,$s1\n.task next\n")
+	f.Add("main:\n\tli $s0, 1 !f\n\tli $s6, 7 !f\n\tj t !s\nt:\n\tbnez $s0, skip\n\tli $s6, 42 !f\nskip:\n\tj out !s\nout:\n\tli $v0, 10\n\tli $a0, 0\n\tsyscall\n.task main targets=t create=$s0,$s6\n.task t targets=out create=$s6\n.task out\n")
+	f.Add("main:\n\tjal fn\n\tj done !s\nfn:\n\tjr $ra !s\ndone:\n\tli $v0, 10\n\tli $a0, 0\n\tsyscall\n.task main targets=done\n.task done\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := asm.AssembleOpts(src, asm.Options{Mode: asm.ModeMultiscalar, NoLint: true})
+		if err != nil || res == nil {
+			return
+		}
+		// Analyze/Optimize must not panic on anything assemblable,
+		// lint-clean or not.
+		plan := annotate.Analyze(res.Prog, annotate.Options{InsertReleases: true})
+		_ = plan.String()
+		opt, _ := annotate.Optimize(res.Prog)
+
+		// The soundness property only holds for programs that honor the
+		// annotation contract; gate on a clean report, and bound the
+		// oracle so runaway inputs are skipped, not failed.
+		rep := mslint.Lint(res.Prog, res.Lines)
+		if len(rep.Diags) != 0 || len(res.Prog.Tasks) == 0 || len(res.Prog.Text) > 4096 {
+			return
+		}
+		oracleEnv := interp.NewSysEnv()
+		om := interp.NewMachine(res.Prog, oracleEnv)
+		if err := om.Run(100_000); err != nil {
+			return // does not terminate cleanly; nothing to compare
+		}
+		optEnv := interp.NewSysEnv()
+		optM := interp.NewMachine(opt, optEnv)
+		if err := optM.Run(200_000); err != nil {
+			t.Fatalf("optimized program fails on the oracle: %v\nplan:\n%s\nsource:\n%s", err, plan, src)
+		}
+		if optEnv.Out.String() != oracleEnv.Out.String() ||
+			optEnv.ExitCode != oracleEnv.ExitCode || optM.ICount != om.ICount {
+			t.Fatalf("optimized program diverges: out %q vs %q, exit %d vs %d, icount %d vs %d\nplan:\n%s\nsource:\n%s",
+				optEnv.Out.String(), oracleEnv.Out.String(),
+				optEnv.ExitCode, oracleEnv.ExitCode, optM.ICount, om.ICount, plan, src)
+		}
+
+		// The optimized program must itself satisfy the contract's hard
+		// errors — tightening must never break MS001/MS004 soundness.
+		if optRep := mslint.Lint(opt, nil); optRep.HasErrors() {
+			t.Fatalf("optimized program has lint errors:\n%s\nplan:\n%s\nsource:\n%s", optRep, plan, src)
+		}
+
+		// Source-level rewrite, when it applies, verifies internally
+		// (interp equivalence) and must re-assemble; exercise it too.
+		if _, _, err := annotate.RewriteSource(src); err != nil {
+			t.Fatalf("RewriteSource failed on a lint-clean program: %v\nsource:\n%s", err, src)
+		}
+	})
+}

@@ -1,0 +1,336 @@
+package annotate
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/interp"
+	"multiscalar/internal/isa"
+)
+
+// RewriteSource optimizes annotated assembly at the source level: it
+// assembles src (multiscalar mode, lint-gated), analyzes the program
+// with release insertion enabled, and applies the plan as textual edits
+// — create-mask surgery on .task directives, forward-bit tokens appended
+// to or removed from statement lines, release operands removed, and
+// .msonly release lines inserted at block heads. The rewritten source is
+// re-assembled under the same lint gate and the two programs are held to
+// the functional interpreter oracle (identical output bytes and exit
+// code) before anything is returned.
+//
+// Scalar builds are unaffected by construction: every edit touches
+// multiscalar-only syntax (!f tokens, .task directives, .msonly lines).
+//
+// When the plan changes nothing, src is returned unchanged.
+func RewriteSource(src string) (string, *Plan, error) {
+	res, err := asm.AssembleOpts(src, asm.Options{Mode: asm.ModeMultiscalar})
+	if err != nil {
+		return "", nil, fmt.Errorf("annotate: input does not assemble: %w", err)
+	}
+	plan := Analyze(res.Prog, Options{InsertReleases: true})
+	if !plan.Changed() {
+		return src, plan, nil
+	}
+
+	lines := strings.Split(src, "\n")
+	// A statement expanding to several instructions carries its
+	// annotation on the last one; a planned forward bit can only be
+	// encoded on a line whose last emitted instruction is the planned
+	// address.
+	lastOfLine := map[int]uint32{}
+	for a, ln := range res.Lines {
+		if a > lastOfLine[ln] {
+			lastOfLine[ln] = a
+		}
+	}
+
+	edits := map[int]*lineEdit{}
+	at := func(ln int) *lineEdit {
+		e := edits[ln]
+		if e == nil {
+			e = &lineEdit{}
+			edits[ln] = e
+		}
+		return e
+	}
+	for _, t := range plan.Tasks {
+		if t.Skipped != "" || !t.Changed() {
+			continue
+		}
+		if t.NewCreate != t.OldCreate {
+			ln := findTaskLine(lines, t.TD.Name)
+			if ln == 0 {
+				return "", nil, fmt.Errorf("annotate: no .task line for %s", t.TD.Name)
+			}
+			m := t.NewCreate
+			at(ln).newCreate = &m
+		}
+		for _, a := range t.AddFwd {
+			if ln := res.Lines[a]; ln != 0 && lastOfLine[ln] == a {
+				at(ln).appendFwd = true
+			}
+			// else: the annotation would land on a different instruction
+			// of the expansion; leave the send to the completion flush.
+		}
+		for _, a := range t.DropFwd {
+			if ln := res.Lines[a]; ln != 0 {
+				at(ln).removeFwd = true
+			}
+		}
+		for a, reg := range t.DropRel {
+			if ln := res.Lines[a]; ln != 0 {
+				at(ln).removeRegs = append(at(ln).removeRegs, reg)
+			}
+		}
+		for ba, regs := range t.AddRel {
+			if ln := res.Lines[ba]; ln != 0 {
+				at(ln).insertRel = at(ln).insertRel.Union(regs)
+			}
+		}
+	}
+
+	// Apply bottom-up so insertions and deletions leave the line
+	// numbers of pending edits intact.
+	out := append([]string(nil), lines...)
+	for ln := len(lines); ln >= 1; ln-- {
+		e := edits[ln]
+		if e == nil {
+			continue
+		}
+		repl, err := e.apply(out[ln-1])
+		if err != nil {
+			return "", nil, fmt.Errorf("annotate: line %d: %w", ln, err)
+		}
+		out = append(out[:ln-1], append(repl, out[ln:]...)...)
+	}
+	newSrc := strings.Join(out, "\n")
+
+	res2, err := asm.AssembleOpts(newSrc, asm.Options{Mode: asm.ModeMultiscalar})
+	if err != nil {
+		return "", nil, fmt.Errorf("annotate: rewritten source rejected: %w", err)
+	}
+	if err := verifyEquivalent(res.Prog, res2.Prog); err != nil {
+		return "", nil, fmt.Errorf("annotate: rewrite is not oracle-equivalent: %w", err)
+	}
+	return newSrc, plan, nil
+}
+
+// lineEdit is the set of textual changes one source line accumulates.
+type lineEdit struct {
+	newCreate  *isa.RegMask // .task line: replace the create= list
+	appendFwd  bool         // append a !f token to the statement
+	removeFwd  bool         // remove the !f token
+	removeRegs []isa.Reg    // remove operands from a release statement
+	insertRel  isa.RegMask  // insert ".msonly release" line(s) before
+}
+
+// apply rewrites one source line into its replacement lines.
+func (e *lineEdit) apply(line string) ([]string, error) {
+	var out []string
+	body := line
+	if !e.insertRel.Empty() {
+		// The release must execute at the block head: after any label
+		// (jumps enter there) and before the first instruction.
+		label, rest := splitInlineLabel(line)
+		if label != "" {
+			out = append(out, label)
+			body = rest
+		}
+		out = append(out, "\t.msonly release "+regList(e.insertRel))
+	}
+	code, comment := splitComment(body)
+	switch {
+	case e.newCreate != nil:
+		var err error
+		code, err = rewriteCreate(code, *e.newCreate)
+		if err != nil {
+			return nil, err
+		}
+	case e.appendFwd:
+		code = strings.TrimRight(code, " \t") + " !f"
+	case e.removeFwd:
+		nc := fwdTokenRE.ReplaceAllString(code, "")
+		if nc == code {
+			return nil, fmt.Errorf("no !f token to remove in %q", line)
+		}
+		code = nc
+	case len(e.removeRegs) > 0:
+		var err error
+		code, err = rewriteRelease(code, e.removeRegs)
+		if err != nil {
+			return nil, err
+		}
+		if code == "" && comment == "" {
+			return out, nil // line vanishes entirely
+		}
+	}
+	if comment != "" && code != "" {
+		code += " " + comment
+	} else if comment != "" {
+		code = comment
+	}
+	return append(out, code), nil
+}
+
+var (
+	fwdTokenRE  = regexp.MustCompile(`[ \t]*!f\b`)
+	createRE    = regexp.MustCompile(`[ \t]*create=[^ \t]+`)
+	labelRE     = regexp.MustCompile(`^([ \t]*[A-Za-z_.$][A-Za-z0-9_.$]*:)[ \t]*(\S.*)$`)
+	releaseRE   = regexp.MustCompile(`^([ \t]*(?:[A-Za-z_.$][A-Za-z0-9_.$]*:[ \t]*)?(?:\.msonly[ \t]+)?release[ \t]+)(.*)$`)
+	taskLineRE  = regexp.MustCompile(`^[ \t]*\.task[ \t]+(\S+)`)
+	annotTailRE = regexp.MustCompile(`((?:[ \t]+!(?:f|s|st|snt))+)[ \t]*$`)
+)
+
+// splitComment splits a raw source line at its comment, mirroring the
+// assembler's lexer (";", "#", "//" outside string literals).
+func splitComment(line string) (code, comment string) {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if inStr {
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+			continue
+		}
+		switch {
+		case c == '"':
+			inStr = true
+		case c == ';' || c == '#':
+			return strings.TrimRight(line[:i], " \t"), line[i:]
+		case c == '/' && i+1 < len(line) && line[i+1] == '/':
+			return strings.TrimRight(line[:i], " \t"), line[i:]
+		}
+	}
+	return line, ""
+}
+
+// splitInlineLabel splits "FOO: instr" into its label line and the rest;
+// a line that is not label-prefixed (or is a label alone) returns "".
+func splitInlineLabel(line string) (label, rest string) {
+	code, comment := splitComment(line)
+	m := labelRE.FindStringSubmatch(code)
+	if m == nil {
+		return "", line
+	}
+	rest = "\t" + m[2]
+	if comment != "" {
+		rest += " " + comment
+	}
+	return m[1], rest
+}
+
+// findTaskLine locates the .task directive line (1-based) naming task.
+func findTaskLine(lines []string, task string) int {
+	for i, l := range lines {
+		code, _ := splitComment(l)
+		if m := taskLineRE.FindStringSubmatch(code); m != nil && m[1] == task {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// rewriteCreate replaces (or removes, for an empty mask) the create=
+// list of a .task directive line.
+func rewriteCreate(code string, mask isa.RegMask) (string, error) {
+	loc := createRE.FindStringIndex(code)
+	if loc == nil {
+		return "", fmt.Errorf("no create= list in %q", code)
+	}
+	repl := ""
+	if !mask.Empty() {
+		// Splice rather than ReplaceAllString: register names ($s0, …)
+		// would be taken for capture-group references.
+		repl = " create=" + regList(mask)
+	}
+	return code[:loc[0]] + repl + code[loc[1]:], nil
+}
+
+// rewriteRelease removes operands from a release statement. Removing
+// every operand removes the statement; an inline label (or a stop
+// annotation, which must keep marking the task boundary) survives as a
+// label line (or a nop).
+func rewriteRelease(code string, drop []isa.Reg) (string, error) {
+	m := releaseRE.FindStringSubmatch(code)
+	if m == nil {
+		return "", fmt.Errorf("not a release statement: %q", code)
+	}
+	pre, ops := m[1], m[2]
+	annots := ""
+	if am := annotTailRE.FindStringSubmatch(ops); am != nil {
+		annots = strings.TrimRight(am[1], " \t")
+		ops = strings.TrimSuffix(ops, am[0])
+	}
+	gone := map[string]bool{}
+	for _, r := range drop {
+		gone[r.String()] = true
+	}
+	var keep []string
+	for _, op := range strings.Split(ops, ",") {
+		op = strings.TrimSpace(op)
+		if op != "" && !gone[op] {
+			keep = append(keep, op)
+		}
+	}
+	if len(keep) > 0 {
+		return pre + strings.Join(keep, ", ") + annots, nil
+	}
+	label := ""
+	if lm := labelRE.FindStringSubmatch(code); lm != nil {
+		label = lm[1]
+	}
+	switch {
+	case annots != "":
+		if label != "" {
+			return label + " nop" + annots, nil
+		}
+		return "\tnop" + annots, nil
+	case label != "":
+		return label, nil
+	default:
+		return "", nil
+	}
+}
+
+// regList renders a mask as the assembler's comma-separated operand
+// list, ascending by register number.
+func regList(m isa.RegMask) string {
+	var parts []string
+	m.ForEach(func(r isa.Reg) { parts = append(parts, r.String()) })
+	return strings.Join(parts, ",")
+}
+
+// verifyEquivalent runs both programs through the functional
+// interpreter and requires identical output bytes and exit code — the
+// same oracle the timing simulators are verified against.
+func verifyEquivalent(a, b *isa.Program) error {
+	const maxInstrs = 200_000_000
+	run := func(p *isa.Program) (string, int32, error) {
+		env := interp.NewSysEnv()
+		m := interp.NewMachine(p, env)
+		if err := m.Run(maxInstrs); err != nil {
+			return "", 0, err
+		}
+		return env.Out.String(), env.ExitCode, nil
+	}
+	outA, exitA, err := run(a)
+	if err != nil {
+		return fmt.Errorf("original: %w", err)
+	}
+	outB, exitB, err := run(b)
+	if err != nil {
+		return fmt.Errorf("rewritten: %w", err)
+	}
+	if outA != outB {
+		return fmt.Errorf("output differs: %d vs %d bytes", len(outA), len(outB))
+	}
+	if exitA != exitB {
+		return fmt.Errorf("exit code differs: %d vs %d", exitA, exitB)
+	}
+	return nil
+}

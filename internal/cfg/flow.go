@@ -1,0 +1,162 @@
+package cfg
+
+import (
+	"multiscalar/internal/isa"
+)
+
+// Flow passes over a TaskRegion. These answer the two questions the
+// annotation contract of Section 2.2 turns on:
+//
+//   - may-write-later: can a register still be written at or after a
+//     point within the task? Its complement identifies last updates —
+//     the only places a forward bit is sound (the linter's stale-forward
+//     check) and exactly the places the optimizer auto-places them.
+//   - path-cover: on every path from the task entry to a point, has a
+//     register already been forwarded or released? The complement at an
+//     exit identifies flush-only paths (the linter's coverage check) and
+//     the frontier where the optimizer inserts releases.
+//
+// Both are fixpoints over the region's internal edge set (exit edges
+// contribute nothing: the task has ended).
+
+// MayWriteIn computes, for each region block b, the registers that may
+// be written at or after the start of b within the task:
+// mwIn[b] = defs(b) ∪ (∪ succ mwIn) over internal edges.
+func (r *TaskRegion) MayWriteIn() map[*Block]isa.RegMask {
+	mwIn := map[*Block]isa.RegMask{}
+	for changed := true; changed; {
+		changed = false
+		for i := len(r.Blocks) - 1; i >= 0; i-- {
+			b := r.Blocks[i]
+			var tail isa.RegMask
+			for _, s := range r.Edges[b] {
+				tail = tail.Union(mwIn[s])
+			}
+			in := r.BlockDefs(b).Union(tail)
+			if in != mwIn[b] {
+				mwIn[b] = in
+				changed = true
+			}
+		}
+	}
+	return mwIn
+}
+
+// LaterWrites returns, per instruction of b, the registers that may be
+// written strictly after that instruction within the task (the stale-
+// forward predicate: a forward bit or release of a register in its
+// later-set would transmit a stale value). mwIn must come from
+// MayWriteIn on the same region.
+func (r *TaskRegion) LaterWrites(b *Block, mwIn map[*Block]isa.RegMask) []isa.RegMask {
+	n := b.NumInstrs()
+	later := make([]isa.RegMask, n)
+	var tail isa.RegMask
+	for _, s := range r.Edges[b] {
+		tail = tail.Union(mwIn[s])
+	}
+	for i := n - 1; i >= 0; i-- {
+		later[i] = tail
+		tail = tail.Union(TaskDefs(r.g.Prog.InstrAt(b.Start + uint32(i)*isa.InstrSize)))
+	}
+	return later
+}
+
+// SendGen returns, per region block, the create-mask registers the block
+// explicitly sends on the ring: forward bits on destinations and release
+// operands, intersected with create.
+func (r *TaskRegion) SendGen(create isa.RegMask) map[*Block]isa.RegMask {
+	gen := map[*Block]isa.RegMask{}
+	for _, b := range r.Blocks {
+		var m isa.RegMask
+		for a := b.Start; a < b.End; a += isa.InstrSize {
+			in := r.g.Prog.InstrAt(a)
+			if in.Fwd {
+				m = m.Set(in.Dest())
+			}
+			if in.Op == isa.OpRelease {
+				m = m.Set(in.Rs)
+			}
+		}
+		gen[b] = m.Intersect(create)
+	}
+	return gen
+}
+
+// CoverIn computes the must-cover sets: coverIn[b] holds the create-mask
+// registers that have been forwarded or released on EVERY path from the
+// task entry to the start of b; coverOut[b] additionally includes b's
+// own sends. A descending fixpoint from the optimistic top (create), so
+// loops converge to the meet over all paths.
+func (r *TaskRegion) CoverIn(create isa.RegMask, gen map[*Block]isa.RegMask) (coverIn, coverOut map[*Block]isa.RegMask) {
+	preds := r.Preds()
+	entry := r.g.ByAddr[r.TD.Entry]
+	coverIn = map[*Block]isa.RegMask{}
+	coverOut = map[*Block]isa.RegMask{}
+	for _, b := range r.Blocks {
+		coverOut[b] = create // optimistic top for the descending fixpoint
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range r.Blocks {
+			var in isa.RegMask
+			if b != entry && len(preds[b]) > 0 {
+				in = create
+				for _, p := range preds[b] {
+					in = in.Intersect(coverOut[p])
+				}
+			}
+			coverIn[b] = in
+			o := in.Union(gen[b])
+			if o != coverOut[b] {
+				coverOut[b] = o
+				changed = true
+			}
+		}
+	}
+	return coverIn, coverOut
+}
+
+// LiveOut returns the registers live into any declared successor of the
+// region's task: the union of the successor tasks' entry live-in sets,
+// with retLive standing in for return successors (callers choose the
+// precision: LiveAtReturn is the conservative ABI set, ReturnLiveOut the
+// flow-derived one).
+func (r *TaskRegion) LiveOut(retLive isa.RegMask) isa.RegMask {
+	var m isa.RegMask
+	for _, t := range r.TD.Targets {
+		if t == isa.TargetReturn {
+			m = m.Union(retLive)
+			continue
+		}
+		if b := r.g.ByAddr[t]; b != nil {
+			m = m.Union(b.LiveIn)
+		}
+	}
+	return m
+}
+
+// ReturnLiveOut derives the registers live after a task exit by return
+// from the program's actual call sites: every dynamic return target is
+// the continuation of some stop-tagged jal (the task calls that push the
+// return address), so the union of those call blocks' live-out sets
+// bounds what any return continuation reads. ok is false when the set is
+// unanalyzable — an indirect call anywhere (return addresses may not
+// come from visible jals) or no stop-tagged call at all — and callers
+// must fall back to the conservative ABI set (LiveAtReturn).
+func (g *Graph) ReturnLiveOut() (m isa.RegMask, ok bool) {
+	found := false
+	for _, b := range g.Blocks {
+		if b.IndirectCall {
+			return 0, false
+		}
+		if b.CallTarget == 0 {
+			continue
+		}
+		last := g.Prog.InstrAt(b.End - isa.InstrSize)
+		if last.Stop != isa.StopNone {
+			m = m.Union(b.LiveOut)
+			found = true
+		}
+	}
+	return m, found
+}

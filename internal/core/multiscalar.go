@@ -123,6 +123,7 @@ type Multiscalar struct {
 	tasksRetired   uint64
 	tasksSquashed  uint64
 	ctlSquashes    uint64
+	ringSends      uint64
 	memSquashes    uint64
 	arbSquashes    uint64
 	predictions    uint64
@@ -393,6 +394,7 @@ func (m *Multiscalar) result() *Result {
 		CtlSquashes:      m.ctlSquashes,
 		MemSquashes:      m.memSquashes,
 		ARBSquashes:      m.arbSquashes,
+		RingSends:        m.ringSends,
 		Predictions:      m.predictions,
 		PredCorrect:      m.predCorrect,
 		Activity:         m.activity,

@@ -192,6 +192,7 @@ func (m *Multiscalar) forward(p int, now uint64, r isa.Reg, v interp.Value) {
 		return
 	}
 	rf.sent = rf.sent.Set(r)
+	m.ringSends++
 	m.progress = true // a new value enters the ring (also reached from tryFlush)
 
 	// Send-slot pacing.

@@ -30,6 +30,13 @@ type Result struct {
 	MemSquashes   uint64 // memory-order violation squash events
 	ARBSquashes   uint64 // ARB-overflow squash events (PolicySquash)
 
+	// RingSends counts register values actually placed on the forwarding
+	// ring (each create-mask register is sent at most once per task
+	// execution, by an early forward/release or by the completion flush).
+	// The annotation optimizer's figure of merit: a tighter create mask
+	// sends fewer values.
+	RingSends uint64
+
 	// Task prediction.
 	Predictions uint64
 	PredCorrect uint64

@@ -15,12 +15,22 @@ func (l *linter) run() {
 	l.g = cfg.Build(p)
 	l.g.Analyze()
 
+	// Return-exit liveness for the soundness direction (MS001). The
+	// conservative ABI set always works; when every call site is visible
+	// and stop-tagged, the flow-derived set refines it (never past the ABI
+	// contract: a continuation reading a caller-saved register was already
+	// outside it).
+	l.retMin = cfg.LiveAtReturn
+	if m, ok := l.g.ReturnLiveOut(); ok {
+		l.retMin = cfg.LiveAtReturn.Intersect(m)
+	}
+
 	if p.TaskAt(p.Entry) == nil {
 		l.diag(SevError, CodeEntryNotTask, "", isa.RegZero, p.Entry,
 			"program entry 0x%x has no task descriptor; the sequencer cannot dispatch the first task", p.Entry)
 	}
 
-	var regions []*region
+	var regions []*cfg.TaskRegion
 	for _, td := range p.TaskList() {
 		l.checkDescriptor(td)
 		r := l.walkTask(td)
@@ -55,41 +65,41 @@ func (l *linter) checkDescriptor(td *isa.TaskDescriptor) {
 // checkExits verifies that every statically discovered exit leads to a
 // declared target, that every declared target is reached by some exit,
 // and that call exits carry consistent pushra/call metadata.
-func (l *linter) checkExits(r *region) {
-	td := r.td
+func (l *linter) checkExits(r *cfg.TaskRegion) {
+	td := r.TD
 	covered := map[uint32]bool{}
 	sawCall := false
-	for _, e := range r.exits {
-		if td.HasTarget(e.target) {
-			covered[e.target] = true
+	for _, e := range r.Exits {
+		if td.HasTarget(e.Target) {
+			covered[e.Target] = true
 		} else {
 			tname := "<return>"
-			if e.target != isa.TargetReturn {
-				tname = l.taskNameAt(e.target)
+			if e.Target != isa.TargetReturn {
+				tname = l.taskNameAt(e.Target)
 			}
-			l.diag(SevError, CodeUndeclaredExit, td.Name, isa.RegZero, e.addr,
-				"task exits to %s (0x%x), which is not a declared target", tname, e.target)
+			l.diag(SevError, CodeUndeclaredExit, td.Name, isa.RegZero, e.Addr,
+				"task exits to %s (0x%x), which is not a declared target", tname, e.Target)
 		}
-		if e.kind == exitCall {
+		if e.Kind == cfg.ExitCall {
 			sawCall = true
 			switch {
 			case td.PushRA == 0:
-				l.diag(SevWarning, CodeCallPushRA, td.Name, isa.RegZero, e.addr,
-					"call exit without pushra=: the return address stack cannot predict the continuation 0x%x", e.cont)
-			case td.PushRA != e.cont:
-				l.diag(SevWarning, CodeCallPushRA, td.Name, isa.RegZero, e.addr,
-					"pushra 0x%x disagrees with the call continuation 0x%x", td.PushRA, e.cont)
-			case td.CallTarget != e.target:
-				l.diag(SevWarning, CodeCallPushRA, td.Name, isa.RegZero, e.addr,
-					"call= 0x%x disagrees with the callee 0x%x", td.CallTarget, e.target)
+				l.diag(SevWarning, CodeCallPushRA, td.Name, isa.RegZero, e.Addr,
+					"call exit without pushra=: the return address stack cannot predict the continuation 0x%x", e.Cont)
+			case td.PushRA != e.Cont:
+				l.diag(SevWarning, CodeCallPushRA, td.Name, isa.RegZero, e.Addr,
+					"pushra 0x%x disagrees with the call continuation 0x%x", td.PushRA, e.Cont)
+			case td.CallTarget != e.Target:
+				l.diag(SevWarning, CodeCallPushRA, td.Name, isa.RegZero, e.Addr,
+					"call= 0x%x disagrees with the callee 0x%x", td.CallTarget, e.Target)
 			}
 		}
 	}
-	if td.PushRA != 0 && !sawCall && !r.unknownExit {
+	if td.PushRA != 0 && !sawCall && !r.UnknownExit {
 		l.diag(SevWarning, CodeCallPushRA, td.Name, isa.RegZero, td.Entry,
 			"pushra= set but no call exit is reachable")
 	}
-	if !r.unknownExit {
+	if !r.UnknownExit {
 		for _, t := range td.Targets {
 			if covered[t] {
 				continue
@@ -111,157 +121,92 @@ func (l *linter) taskNameAt(addr uint32) string {
 	return "<no task>"
 }
 
-// liveOutOf returns the registers live into any declared successor: the
-// union of the successor tasks' entry live-in sets, with the conservative
-// ABI set standing in for return successors.
-func (l *linter) liveOutOf(td *isa.TaskDescriptor) isa.RegMask {
-	var m isa.RegMask
-	for _, t := range td.Targets {
-		if t == isa.TargetReturn {
-			m = m.Union(cfg.LiveAtReturn)
-			continue
-		}
-		if b := l.g.ByAddr[t]; b != nil {
-			m = m.Union(b.LiveIn)
-		}
-	}
-	return m
-}
-
 // checkCreate verifies create-mask soundness in both directions: every
 // register the task writes that is live into a successor must be in the
 // mask (error — the successor would consume a stale pass-through value),
 // and no register dead at every successor should be (warning — it
-// serializes successors for nothing).
-func (l *linter) checkCreate(r *region) {
-	td := r.td
-	liveOut := l.liveOutOf(td)
-	var defs isa.RegMask
-	for _, b := range r.blocks {
-		defs = defs.Union(l.blockDefs(b))
-	}
-	missing := defs.Intersect(liveOut).Minus(td.Create)
+// serializes successors for nothing). The soundness direction uses the
+// refined return-liveness (retMin); the hygiene directions (MS002, MS017)
+// keep the conservative ABI set so hand annotations written against the
+// ABI contract stay clean.
+func (l *linter) checkCreate(r *cfg.TaskRegion) {
+	td := r.TD
+	liveMin := r.LiveOut(l.retMin)
+	liveMax := r.LiveOut(cfg.LiveAtReturn)
+	defs := r.Defs()
+	missing := defs.Intersect(liveMin).Minus(td.Create)
 	missing.ForEach(func(reg isa.Reg) {
 		l.diag(SevError, CodeCreateMissing, td.Name, reg, l.firstDefOf(r, reg),
 			"task writes %s, which is live into a successor, but %s is not in the create mask", reg, reg)
 	})
-	dead := td.Create.Minus(liveOut)
+	dead := td.Create.Minus(liveMax)
 	dead.ForEach(func(reg isa.Reg) {
 		l.diag(SevWarning, CodeCreateDead, td.Name, reg, td.Entry,
 			"create-mask register %s is dead at every declared successor", reg)
+	})
+	unwritten := td.Create.Intersect(liveMax).Minus(defs)
+	unwritten.ForEach(func(reg isa.Reg) {
+		l.diag(SevWarning, CodeOverBroadCreate, td.Name, reg, td.Entry,
+			"create-mask register %s is never written by the task: successors wait to receive a value the task only passes through", reg)
 	})
 }
 
 // firstDefOf returns the address of the lowest-addressed write of reg in
 // the region (for diagnostic anchoring), or the task entry.
-func (l *linter) firstDefOf(r *region, reg isa.Reg) uint32 {
-	blocks := append([]*cfg.Block(nil), r.blocks...)
+func (l *linter) firstDefOf(r *cfg.TaskRegion, reg isa.Reg) uint32 {
+	blocks := append([]*cfg.Block(nil), r.Blocks...)
 	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Start < blocks[j].Start })
 	for _, b := range blocks {
 		for a := b.Start; a < b.End; a += isa.InstrSize {
-			if instrDefs(l.prog.InstrAt(a)).Has(reg) {
+			if cfg.TaskDefs(l.prog.InstrAt(a)).Has(reg) {
 				return a
 			}
 		}
 	}
-	return r.td.Entry
+	return r.TD.Entry
 }
 
 // checkCoverage runs the must-cover analysis: on every path from the
 // task entry to each exit, each create-mask register should be forwarded
 // or released; registers relying on the completion flush are flagged.
-func (l *linter) checkCoverage(r *region) {
-	create := r.td.Create
-	if create.Empty() || len(r.exits) == 0 {
+func (l *linter) checkCoverage(r *cfg.TaskRegion) {
+	create := r.TD.Create
+	if create.Empty() || len(r.Exits) == 0 {
 		return
 	}
-	covGen := map[*cfg.Block]isa.RegMask{}
-	for _, b := range r.blocks {
-		var m isa.RegMask
-		for a := b.Start; a < b.End; a += isa.InstrSize {
-			in := l.prog.InstrAt(a)
-			if in.Fwd {
-				m = m.Set(in.Dest())
-			}
-			if in.Op == isa.OpRelease {
-				m = m.Set(in.Rs)
-			}
-		}
-		covGen[b] = m.Intersect(create)
-	}
-	preds := r.preds()
-	entry := l.g.ByAddr[r.td.Entry]
-	out := map[*cfg.Block]isa.RegMask{}
-	for _, b := range r.blocks {
-		out[b] = create // optimistic top for the descending fixpoint
-	}
-	for changed := true; changed; {
-		changed = false
-		for _, b := range r.blocks {
-			var in isa.RegMask
-			if b != entry && len(preds[b]) > 0 {
-				in = create
-				for _, p := range preds[b] {
-					in = in.Intersect(out[p])
-				}
-			}
-			o := in.Union(covGen[b])
-			if o != out[b] {
-				out[b] = o
-				changed = true
-			}
-		}
-	}
+	gen := r.SendGen(create)
+	_, coverOut := r.CoverIn(create, gen)
 	var reported isa.RegMask
-	for _, e := range r.exits {
-		b := l.g.BlockOf(e.addr)
+	for _, e := range r.Exits {
+		b := l.g.BlockOf(e.Addr)
 		if b == nil {
 			continue
 		}
-		miss := create.Minus(out[b]).Minus(reported)
+		miss := create.Minus(coverOut[b]).Minus(reported)
 		miss.ForEach(func(reg isa.Reg) {
 			reported = reported.Set(reg)
-			l.diag(SevWarning, CodeFlushOnly, r.td.Name, reg, e.addr,
+			l.diag(SevWarning, CodeFlushOnly, r.TD.Name, reg, e.Addr,
 				"create-mask register %s is neither forwarded nor released on a path to this exit; successors wait for the completion flush", reg)
 		})
 	}
 }
 
-// checkForwardBits verifies forward-bit placement: a forward bit (or a
-// release) must not precede a possible later write of the same register
-// within the task (the ring would transmit a stale value), and forwards/
-// releases outside the create mask satisfy no successor's reservation.
-func (l *linter) checkForwardBits(r *region) {
-	create := r.td.Create
-	// mayWrite fixpoint: mwIn[b] = defs(b) ∪ (∪ succ mwIn) over internal
-	// edges; exit edges contribute nothing (the task has ended).
-	mwIn := map[*cfg.Block]isa.RegMask{}
-	for changed := true; changed; {
-		changed = false
-		for i := len(r.blocks) - 1; i >= 0; i-- {
-			b := r.blocks[i]
-			var tail isa.RegMask
-			for _, s := range r.edges[b] {
-				tail = tail.Union(mwIn[s])
-			}
-			in := l.blockDefs(b).Union(tail)
-			if in != mwIn[b] {
-				mwIn[b] = in
-				changed = true
-			}
-		}
-	}
-	for _, b := range r.blocks {
+// checkForwardBits verifies send placement: a forward bit (or a release)
+// must not precede a possible later write of the same register within the
+// task (the ring would transmit a stale value); forwards/releases outside
+// the create mask satisfy no successor's reservation; a send of a
+// register already sent on every path never transmits (each create-mask
+// register rides the ring exactly once per task); and a release reached
+// only after unrelated work delays a value that was already final.
+func (l *linter) checkForwardBits(r *cfg.TaskRegion) {
+	create := r.TD.Create
+	mwIn := r.MayWriteIn()
+	gen := r.SendGen(create)
+	coverIn, _ := r.CoverIn(create, gen)
+	for _, b := range r.Blocks {
+		later := r.LaterWrites(b, mwIn)
+		sent := coverIn[b] // must-sent before instruction i
 		n := b.NumInstrs()
-		later := make([]isa.RegMask, n) // may be written strictly after instr i
-		var tail isa.RegMask
-		for _, s := range r.edges[b] {
-			tail = tail.Union(mwIn[s])
-		}
-		for i := n - 1; i >= 0; i-- {
-			later[i] = tail
-			tail = tail.Union(instrDefs(l.prog.InstrAt(b.Start + uint32(i)*isa.InstrSize)))
-		}
 		for i := 0; i < n; i++ {
 			a := b.Start + uint32(i)*isa.InstrSize
 			in := l.prog.InstrAt(a)
@@ -269,38 +214,75 @@ func (l *linter) checkForwardBits(r *region) {
 				d := in.Dest()
 				switch {
 				case d == isa.RegZero:
-					l.diag(SevWarning, CodeForeignForward, r.td.Name, isa.RegZero, a,
+					l.diag(SevWarning, CodeForeignForward, r.TD.Name, isa.RegZero, a,
 						"forward bit on an instruction with no destination register")
 				case !create.Has(d):
-					l.diag(SevWarning, CodeForeignForward, r.td.Name, d, a,
+					l.diag(SevWarning, CodeForeignForward, r.TD.Name, d, a,
 						"forward bit on %s, which is not in the create mask", d)
 				case later[i].Has(d):
-					l.diag(SevError, CodeStaleForward, r.td.Name, d, a,
+					l.diag(SevError, CodeStaleForward, r.TD.Name, d, a,
 						"forward bit on a non-last update of %s: a later write within the task would make the forwarded value stale", d)
+				case sent.Has(d):
+					l.diag(SevWarning, CodeDeadForward, r.TD.Name, d, a,
+						"forward bit on %s after %s has already been forwarded or released on every path here; the send never happens", d, d)
+				}
+				if create.Has(d) {
+					sent = sent.Set(d)
 				}
 			}
 			if in.Op == isa.OpRelease {
 				switch {
 				case !create.Has(in.Rs):
-					l.diag(SevWarning, CodeForeignForward, r.td.Name, in.Rs, a,
+					l.diag(SevWarning, CodeForeignForward, r.TD.Name, in.Rs, a,
 						"release of %s, which is not in the create mask", in.Rs)
 				case later[i].Has(in.Rs):
-					l.diag(SevError, CodeStaleForward, r.td.Name, in.Rs, a,
+					l.diag(SevError, CodeStaleForward, r.TD.Name, in.Rs, a,
 						"release of %s before a possible later write within the task: the released value would be stale", in.Rs)
+				case sent.Has(in.Rs):
+					l.diag(SevWarning, CodeDeadForward, r.TD.Name, in.Rs, a,
+						"release of %s after %s has already been forwarded or released on every path here; the send never happens", in.Rs, in.Rs)
+				case l.lateRelease(b, i, in.Rs):
+					l.diag(SevWarning, CodeLateForward, r.TD.Name, in.Rs, a,
+						"release of %s executes after unrelated instructions although the value was already final; successors stall longer than necessary", in.Rs)
+				}
+				if create.Has(in.Rs) {
+					sent = sent.Set(in.Rs)
 				}
 			}
 		}
 	}
 }
 
+// lateRelease reports whether the release at index i of b sits in the
+// same block as the final write of reg with a non-release instruction
+// strictly between them: the value was final earlier in this block, so
+// the release could have run there. A release with no in-block write
+// before it marks a path that never updates the register; its earliest
+// sound point depends on the path, so it is not flagged. Release-only
+// gaps (including the expansion of a multi-register release) are on
+// time.
+func (l *linter) lateRelease(b *cfg.Block, i int, reg isa.Reg) bool {
+	gap := false
+	for j := i - 1; j >= 0; j-- {
+		in := l.prog.InstrAt(b.Start + uint32(j)*isa.InstrSize)
+		if cfg.TaskDefs(in).Has(reg) {
+			return gap
+		}
+		if in.Op != isa.OpRelease {
+			gap = true
+		}
+	}
+	return false
+}
+
 // checkFCC flags floating-point condition-flag liveness across the task
 // entry: a bc1t/bc1f reachable from the entry before any FP compare
 // consumes a flag set in a previous task, and the flag is task-local.
-func (l *linter) checkFCC(r *region) {
+func (l *linter) checkFCC(r *cfg.TaskRegion) {
 	setsFCC := func(op isa.Op) bool {
 		return op == isa.OpCEqD || op == isa.OpCLtD || op == isa.OpCLeD
 	}
-	entry := l.g.ByAddr[r.td.Entry]
+	entry := l.g.ByAddr[r.TD.Entry]
 	if entry == nil {
 		return
 	}
@@ -313,7 +295,7 @@ func (l *linter) checkFCC(r *region) {
 		for a := b.Start; a < b.End; a += isa.InstrSize {
 			in := l.prog.InstrAt(a)
 			if in.ReadsFCC() {
-				l.diag(SevWarning, CodeFCCBoundary, r.td.Name, isa.RegZero, a,
+				l.diag(SevWarning, CodeFCCBoundary, r.TD.Name, isa.RegZero, a,
 					"%s executes before any FP compare in this task; the FP condition flag does not cross task boundaries", in.Op)
 				return
 			}
@@ -325,7 +307,7 @@ func (l *linter) checkFCC(r *region) {
 		if blocked {
 			continue
 		}
-		for _, s := range r.edges[b] {
+		for _, s := range r.Edges[b] {
 			if !seen[s] {
 				seen[s] = true
 				stack = append(stack, s)
@@ -338,17 +320,17 @@ func (l *linter) checkFCC(r *region) {
 // without being their own task. Shared suppressed-callee bodies are the
 // legitimate exception (they execute within each calling task); blocks
 // reached only through call edges are therefore excluded.
-func (l *linter) checkOverlap(regions []*region) {
+func (l *linter) checkOverlap(regions []*cfg.TaskRegion) {
 	owners := map[*cfg.Block][]string{}
 	for _, r := range regions {
-		for _, b := range r.blocks {
-			if !r.depth0[b] {
+		for _, b := range r.Blocks {
+			if !r.Depth0[b] {
 				continue
 			}
 			if l.prog.Tasks[b.Start] != nil {
 				continue // its own task (or a flagged entry crossing)
 			}
-			owners[b] = append(owners[b], r.td.Name)
+			owners[b] = append(owners[b], r.TD.Name)
 		}
 	}
 	var shared []*cfg.Block

@@ -454,6 +454,74 @@ done:
 				{mslint.CodeFCCBoundary, mslint.SevWarning, 6, ""},
 			},
 		},
+		{
+			// $s1 is in main's create mask and next reads it, but main
+			// never writes it: successors wait to receive a pass-through
+			// value. The never-sent register also rides the completion
+			// flush, so the coverage check fires alongside (like MS002).
+			name: "MS017 over-broad create mask",
+			src: `
+main:
+	li $s0, 1 !f
+	j next !s
+next:
+	add $a0, $s0, $s1
+	li $v0, 10
+	li $a0, 0
+	syscall
+.task main targets=next create=$s0,$s1
+.task next
+`,
+			wants: []want{
+				{mslint.CodeOverBroadCreate, mslint.SevWarning, 3, "$s1"},
+				{mslint.CodeFlushOnly, mslint.SevWarning, 4, "$s1"},
+			},
+		},
+		{
+			// $s0 is forwarded at its write and released again on the same
+			// path: each create-mask register rides the ring once per task
+			// execution, so the release never transmits.
+			name: "MS018 dead forward",
+			src: `
+main:
+	li $s0, 1 !f
+	.msonly release $s0
+	j next !s
+next:
+	add $a0, $s0, $zero
+	li $v0, 10
+	li $a0, 0
+	syscall
+.task main targets=next create=$s0
+.task next
+`,
+			wants: []want{
+				{mslint.CodeDeadForward, mslint.SevWarning, 4, "$s0"},
+			},
+		},
+		{
+			// $s0 is final after line 3 but its release waits behind an
+			// unrelated instruction in the same block: successors stall a
+			// cycle longer than the dataflow requires.
+			name: "MS019 late release",
+			src: `
+main:
+	li $s0, 1
+	li $t0, 5
+	.msonly release $s0
+	j next !s
+next:
+	add $a0, $s0, $zero
+	li $v0, 10
+	li $a0, 0
+	syscall
+.task main targets=next create=$s0
+.task next
+`,
+			wants: []want{
+				{mslint.CodeLateForward, mslint.SevWarning, 5, "$s0"},
+			},
+		},
 	}
 
 	for _, tc := range cases {

@@ -105,6 +105,22 @@ const (
 	// compare within its task, so the FP condition flag crosses a task
 	// boundary (the flag is task-local; see docs/assembly.md).
 	CodeFCCBoundary = "MS016"
+	// CodeOverBroadCreate (warn, advisory): a create-mask register is
+	// never written by the task; successors reserve and wait for a value
+	// the task can only pass through, and the ring carries a send that
+	// changed nothing. Dropping the bit lets successors read the incoming
+	// value immediately.
+	CodeOverBroadCreate = "MS017"
+	// CodeDeadForward (warn, advisory): a forward bit or release names a
+	// create-mask register that has already been forwarded or released on
+	// every path to this point. Each create-mask register rides the ring
+	// exactly once per task execution, so this send never happens.
+	CodeDeadForward = "MS018"
+	// CodeLateForward (warn, advisory): a release executes after
+	// instructions unrelated to its register although the value was
+	// already final, delaying the ring send and lengthening successors'
+	// stalls.
+	CodeLateForward = "MS019"
 )
 
 // Diag is one finding.
@@ -197,15 +213,26 @@ func (r *Report) Err() error {
 // for programs without source (loaded containers, partitioner output).
 // A program without task descriptors lints clean: there is no contract to
 // check.
+//
+// Diagnostic order is deterministic and documented: ascending by source
+// line, then instruction address, then code, then register (emission
+// order breaks any remaining tie stably). Text, JSON, and SARIF output
+// all inherit this order, so diffs across runs are stable.
 func Lint(p *isa.Program, lines map[uint32]int) *Report {
 	l := &linter{prog: p, lines: lines, rep: &Report{}}
 	l.run()
 	sort.SliceStable(l.rep.Diags, func(i, j int) bool {
 		a, b := &l.rep.Diags[i], &l.rep.Diags[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
 		if a.Addr != b.Addr {
 			return a.Addr < b.Addr
 		}
-		return a.Code < b.Code
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Reg < b.Reg
 	})
 	return l.rep
 }

@@ -5,297 +5,53 @@ import (
 	"multiscalar/internal/isa"
 )
 
-// A task's region is reconstructed exactly the way a processing unit
-// executes it: start at the entry, follow control flow, end at any
-// satisfied stop bit. A call without a stop bit pulls the callee body
-// into the task (the paper's suppressed functions); a call with a stop
-// bit ends the task at the callee's entry.
-
-// exitKind distinguishes how a stop-tagged instruction leaves the task.
-type exitKind int
-
-const (
-	exitJump   exitKind = iota // branch/jump/fallthrough to a static address
-	exitCall                   // jal: the callee entry starts the next task
-	exitReturn                 // jr: successor resolved by the return stack
-)
-
-// exit is one statically discovered task exit.
-type exit struct {
-	addr   uint32 // address of the stop-tagged instruction
-	target uint32 // successor task entry (TargetReturn for exitReturn)
-	cont   uint32 // for exitCall: the return continuation (addr+4)
-	kind   exitKind
-}
-
-// region is one task's reconstructed extent plus its intra-task edges.
-type region struct {
-	td     *isa.TaskDescriptor
-	blocks []*cfg.Block
-	depth0 map[*cfg.Block]bool // reached from the entry without a call edge
-	callee map[*cfg.Block]bool // reached (possibly only) through call edges
-	edges  map[*cfg.Block][]*cfg.Block
-	exits  []exit
-	// unknownExit: a stop-tagged jalr makes the exit set unknowable.
-	unknownExit bool
-	// halts: addresses of statically recognized exit syscalls.
-	halts []uint32
-}
+// Task regions are reconstructed by the shared walk in internal/cfg
+// (cfg.Graph.TaskRegion): start at the entry, follow control flow, end
+// at any satisfied stop bit, pull suppressed callees in. The walk
+// records structural oddities as cfg.Problems; this file translates
+// them into the linter's diagnostics, preserving the exact codes,
+// severities, anchors, and messages the walk used to emit inline.
 
 type linter struct {
 	prog  *isa.Program
 	g     *cfg.Graph
 	lines map[uint32]int
 	rep   *Report
+	// retMin is the return-exit liveness used for the MS001 soundness
+	// direction: the ABI set, refined by the flow-derived ReturnLiveOut
+	// when every call site is visible (see run).
+	retMin isa.RegMask
 }
 
-// haltAt returns the address of the first exit syscall in the block, or
-// 0. An exit syscall is a `syscall` whose nearest preceding $v0 write in
-// the same block is a constant 10 (the li expansion) — the only way a
-// workload terminates. Unknown $v0 values are conservatively not halts.
-func (l *linter) haltAt(b *cfg.Block) uint32 {
-	v0 := int32(-1) // last known constant in $v0; -1 = unknown
-	for a := b.Start; a < b.End; a += isa.InstrSize {
-		in := l.prog.InstrAt(a)
-		switch {
-		case in.Op == isa.OpSyscall:
-			if v0 == 10 {
-				return a
-			}
-		case in.Dest() == isa.RegV0:
-			if (in.Op == isa.OpOri || in.Op == isa.OpAddi) && in.Rs == isa.RegZero {
-				v0 = in.Imm
-			} else {
-				v0 = -1
-			}
-		}
-	}
-	return 0
-}
-
-// walkTask reconstructs the region of one task.
-func (l *linter) walkTask(td *isa.TaskDescriptor) *region {
-	r := &region{
-		td:     td,
-		depth0: map[*cfg.Block]bool{},
-		callee: map[*cfg.Block]bool{},
-		edges:  map[*cfg.Block][]*cfg.Block{},
-	}
-	start := l.g.ByAddr[td.Entry]
-	if start == nil {
-		l.diag(SevError, CodeBadTaskRef, td.Name, isa.RegZero, td.Entry,
-			"task entry 0x%x is not the start of a basic block", td.Entry)
-		return r
-	}
-
-	type state struct {
-		b       *cfg.Block
-		viaCall bool
-	}
-	seen := map[state]bool{}
-	var stack []state
-	push := func(b *cfg.Block, viaCall bool) {
-		if b == nil {
-			return
-		}
-		s := state{b, viaCall}
-		if seen[s] {
-			return
-		}
-		seen[s] = true
-		stack = append(stack, s)
-	}
-	addEdge := func(from, to *cfg.Block) {
-		for _, e := range r.edges[from] {
-			if e == to {
-				return
-			}
-		}
-		r.edges[from] = append(r.edges[from], to)
-	}
-	// internal traverses a non-exit edge, checking that it does not bleed
-	// into another task's entry.
-	internal := func(from *cfg.Block, to uint32, viaCall bool, instrAddr uint32) {
-		t := l.g.ByAddr[to]
-		if t == nil {
-			l.diag(SevError, CodeMissingStop, td.Name, isa.RegZero, instrAddr,
+// walkTask reconstructs the region of one task and reports its
+// structural problems.
+func (l *linter) walkTask(td *isa.TaskDescriptor) *cfg.TaskRegion {
+	r := l.g.TaskRegion(td)
+	for _, p := range r.Problems {
+		switch p.Kind {
+		case cfg.ProbBadEntry:
+			l.diag(SevError, CodeBadTaskRef, td.Name, isa.RegZero, p.Addr,
+				"task entry 0x%x is not the start of a basic block", p.Addr)
+		case cfg.ProbFallsOffText:
+			l.diag(SevError, CodeMissingStop, td.Name, isa.RegZero, p.Addr,
 				"control falls past the end of text without a stop bit")
-			return
-		}
-		if l.prog.Tasks[to] != nil && (viaCall || to != td.Entry) {
-			l.diag(SevError, CodeMissingStop, td.Name, isa.RegZero, instrAddr,
-				"control enters task %s at 0x%x without a stop bit", l.prog.Tasks[to].Name, to)
-			return
-		}
-		addEdge(from, t)
-		push(t, viaCall)
-	}
-
-	var calleeReturns []*cfg.Block // jr blocks inside pulled-in callees
-	var callConts []*cfg.Block    // fall-through blocks of suppressed calls
-
-	push(start, false)
-	for len(stack) > 0 {
-		s := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		b := s.b
-		firstVisit := !r.depth0[b] && !r.callee[b]
-		if s.viaCall {
-			r.callee[b] = true
-		} else {
-			r.depth0[b] = true
-		}
-		if firstVisit {
-			r.blocks = append(r.blocks, b)
-		}
-
-		if h := l.haltAt(b); h != 0 {
-			r.halts = append(r.halts, h)
-			continue // program exit: no successors
-		}
-
-		lastAddr := b.End - isa.InstrSize
-		last := l.prog.InstrAt(lastAddr)
-
-		// A stop bit inside a called function body ends the task mid-call
-		// for every caller; flag it and do not treat it as this task's
-		// exit (the depth-0 visit, if any, owns the exit).
-		if s.viaCall && last.Stop != isa.StopNone {
-			l.diag(SevWarning, CodeStopInCallee, td.Name, isa.RegZero, lastAddr,
-				"stop bit inside called function body (%s)", last.Op)
-		}
-		calleeStop := s.viaCall && last.Stop != isa.StopNone
-
-		addExit := func(target uint32, kind exitKind) {
-			if s.viaCall {
-				return
-			}
-			e := exit{addr: lastAddr, target: target, kind: kind}
-			if kind == exitCall {
-				e.cont = b.End
-			}
-			r.exits = append(r.exits, e)
-		}
-
-		switch {
-		case last.Op.IsBranch():
-			takenExit := last.Stop == isa.StopAlways || last.Stop == isa.StopTaken
-			fallExit := last.Stop == isa.StopAlways || last.Stop == isa.StopNotTaken
-			if takenExit && !calleeStop {
-				addExit(last.Target, exitJump)
-			} else if !takenExit {
-				internal(b, last.Target, s.viaCall, lastAddr)
-			}
-			if fallExit && !calleeStop {
-				addExit(b.End, exitJump)
-			} else if !fallExit {
-				internal(b, b.End, s.viaCall, lastAddr)
-			}
-		case last.Op == isa.OpJ:
-			switch last.Stop {
-			case isa.StopNone, isa.StopNotTaken: // an unconditional jump is always taken
-				internal(b, last.Target, s.viaCall, lastAddr)
-			default:
-				if !calleeStop {
-					addExit(last.Target, exitJump)
-				}
-			}
-		case last.Op == isa.OpJal:
-			if last.Stop != isa.StopNone {
-				// The call ends the task: the callee entry is the successor
-				// task; the continuation belongs to a later task.
-				if !calleeStop {
-					addExit(last.Target, exitCall)
-				}
-			} else {
-				// Suppressed call: pull the callee body in, resume at the
-				// fall-through.
-				if ct := l.prog.Tasks[last.Target]; ct != nil {
-					l.diag(SevWarning, CodeTaskOverlap, td.Name, isa.RegZero, lastAddr,
-						"call without a stop bit to %s, which is also task %s: its body executes both inside this task and as its own task", ct.Name, ct.Name)
-				}
-				if callee := l.g.ByAddr[last.Target]; callee != nil {
-					addEdge(b, callee)
-					push(callee, true)
-				}
-				if ft := l.g.ByAddr[b.End]; ft != nil {
-					callConts = append(callConts, ft)
-				}
-				internal(b, b.End, s.viaCall, lastAddr)
-			}
-		case last.Op == isa.OpJalr:
-			l.diag(SevWarning, CodeIndirect, td.Name, isa.RegZero, lastAddr,
+		case cfg.ProbEntersTask:
+			l.diag(SevError, CodeMissingStop, td.Name, isa.RegZero, p.Addr,
+				"control enters task %s at 0x%x without a stop bit", l.taskNameAt(p.Target), p.Target)
+		case cfg.ProbStopInCallee:
+			l.diag(SevWarning, CodeStopInCallee, td.Name, isa.RegZero, p.Addr,
+				"stop bit inside called function body (%s)", p.Op)
+		case cfg.ProbCalleeIsTask:
+			ct := l.prog.Tasks[p.Target]
+			l.diag(SevWarning, CodeTaskOverlap, td.Name, isa.RegZero, p.Addr,
+				"call without a stop bit to %s, which is also task %s: its body executes both inside this task and as its own task", ct.Name, ct.Name)
+		case cfg.ProbIndirect:
+			l.diag(SevWarning, CodeIndirect, td.Name, isa.RegZero, p.Addr,
 				"indirect call defeats static exit and effect analysis")
-			if last.Stop != isa.StopNone {
-				r.unknownExit = true
-			} else {
-				internal(b, b.End, s.viaCall, lastAddr)
-			}
-		case last.Op == isa.OpJr:
-			switch {
-			case s.viaCall:
-				// Return within a pulled-in callee: execution resumes at the
-				// call continuation; the approximate return edges are added
-				// after the walk.
-				calleeReturns = append(calleeReturns, b)
-			case last.Stop == isa.StopAlways:
-				addExit(isa.TargetReturn, exitReturn)
-			default:
-				l.diag(SevError, CodeMissingStop, td.Name, isa.RegZero, lastAddr,
-					"return reachable from the task entry without a stop bit")
-			}
-		default:
-			if last.Stop != isa.StopNone {
-				if !calleeStop {
-					addExit(b.End, exitJump)
-				}
-			} else {
-				internal(b, b.End, s.viaCall, lastAddr)
-			}
-		}
-	}
-
-	// Approximate return edges: any callee return may resume at any
-	// suppressed-call continuation of this task. Over-approximate (and
-	// thus sound for the may/must analyses that consume the edge set).
-	for _, ret := range calleeReturns {
-		for _, cont := range callConts {
-			addEdge(ret, cont)
+		case cfg.ProbReturnNoStop:
+			l.diag(SevError, CodeMissingStop, td.Name, isa.RegZero, p.Addr,
+				"return reachable from the task entry without a stop bit")
 		}
 	}
 	return r
-}
-
-// instrDefs returns the registers one instruction may define within the
-// task. Callee bodies of suppressed calls are walked directly, so a jal
-// contributes only $ra; jalr contributes only its link register (its full
-// effect is unanalyzable and already flagged as CodeIndirect).
-func instrDefs(in *isa.Instr) isa.RegMask {
-	var m isa.RegMask
-	switch in.Op {
-	case isa.OpJal, isa.OpJalr:
-		return m.Set(in.Rd)
-	default:
-		return m.Set(in.Dest())
-	}
-}
-
-// blockDefs unions instrDefs over the block.
-func (l *linter) blockDefs(b *cfg.Block) isa.RegMask {
-	var m isa.RegMask
-	for a := b.Start; a < b.End; a += isa.InstrSize {
-		m = m.Union(instrDefs(l.prog.InstrAt(a)))
-	}
-	return m
-}
-
-// preds inverts the region's edge map.
-func (r *region) preds() map[*cfg.Block][]*cfg.Block {
-	out := map[*cfg.Block][]*cfg.Block{}
-	for from, tos := range r.edges {
-		for _, to := range tos {
-			out[to] = append(out[to], from)
-		}
-	}
-	return out
 }

@@ -1,0 +1,146 @@
+package mslint
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// SARIF rendering of a lint report (SARIF 2.1.0), the interchange format
+// code-scanning services ingest (GitHub code scanning among them). One
+// run, driver "mslint", one rule per diagnostic code, one result per
+// finding. Results keep the report's documented order (line, address,
+// code, register), so SARIF uploads diff as stably as the text output.
+
+// ruleInfo is the static metadata of one diagnostic code.
+type ruleInfo struct {
+	id, name, short string
+	level           string // SARIF defaultConfiguration.level
+}
+
+// sarifRules lists every code in docs/lint.md order. The short
+// descriptions compress the contract clause each code checks.
+var sarifRules = []ruleInfo{
+	{CodeCreateMissing, "CreateMissing", "A written register live into a successor is missing from the create mask.", "error"},
+	{CodeCreateDead, "CreateDead", "A create-mask register is dead at every declared successor.", "warning"},
+	{CodeFlushOnly, "FlushOnly", "A create-mask register is neither forwarded nor released on some path; successors wait for the completion flush.", "warning"},
+	{CodeStaleForward, "StaleForward", "A forward bit or release precedes a possible later write; the ring would carry a stale value.", "error"},
+	{CodeForeignForward, "ForeignForward", "A forward bit or release names a register outside the create mask.", "warning"},
+	{CodeUndeclaredExit, "UndeclaredExit", "A stop-tagged exit leads outside the descriptor's target list.", "error"},
+	{CodeUnreachableTarget, "UnreachableTarget", "A declared target is reached by no statically discoverable exit.", "warning"},
+	{CodeMissingStop, "MissingStop", "Control leaves the task region without a stop bit.", "error"},
+	{CodeTaskOverlap, "TaskOverlap", "Instructions are reachable from two task headers without being their own task.", "warning"},
+	{CodeTooManyTargets, "TooManyTargets", "The descriptor names more targets than the hardware descriptor holds.", "error"},
+	{CodeCallPushRA, "CallPushRA", "Call-exit pushra/call metadata is missing or disagrees with the code.", "warning"},
+	{CodeBadTaskRef, "BadTaskRef", "A declared target or task entry does not resolve to a task descriptor.", "error"},
+	{CodeStopInCallee, "StopInCallee", "A stop bit inside a called function body ends the task mid-call for every caller.", "warning"},
+	{CodeIndirect, "Indirect", "An indirect call or jump defeats static exit and effect analysis.", "warning"},
+	{CodeEntryNotTask, "EntryNotTask", "The program entry has no task descriptor.", "error"},
+	{CodeFCCBoundary, "FCCBoundary", "An FP branch consumes a condition flag set in a previous task.", "warning"},
+	{CodeOverBroadCreate, "OverBroadCreateMask", "A create-mask register is never written by the task; the ring carries a pass-through send.", "warning"},
+	{CodeDeadForward, "DeadForward", "A forward bit or release of a register already sent on every path; the send never happens.", "warning"},
+	{CodeLateForward, "LateForward", "A release executes after unrelated instructions although the value was already final.", "warning"},
+}
+
+// SARIF renders the report as a SARIF 2.1.0 log for one artifact (the
+// linted source or container file); uri names it in result locations.
+func (r *Report) SARIF(uri string) ([]byte, error) {
+	type text struct {
+		Text string `json:"text"`
+	}
+	type rule struct {
+		ID        string `json:"id"`
+		Name      string `json:"name"`
+		ShortDesc text   `json:"shortDescription"`
+		HelpURI   string `json:"helpUri,omitempty"`
+		Default   struct {
+			Level string `json:"level"`
+		} `json:"defaultConfiguration"`
+	}
+	type artifactLocation struct {
+		URI string `json:"uri"`
+	}
+	type region struct {
+		StartLine int `json:"startLine"`
+	}
+	type physicalLocation struct {
+		ArtifactLocation artifactLocation `json:"artifactLocation"`
+		Region           *region          `json:"region,omitempty"`
+	}
+	type location struct {
+		PhysicalLocation physicalLocation `json:"physicalLocation"`
+	}
+	type result struct {
+		RuleID     string            `json:"ruleId"`
+		Level      string            `json:"level"`
+		Message    text              `json:"message"`
+		Locations  []location        `json:"locations"`
+		Properties map[string]string `json:"properties,omitempty"`
+	}
+	type driver struct {
+		Name           string `json:"name"`
+		InformationURI string `json:"informationUri"`
+		Rules          []rule `json:"rules"`
+	}
+	type tool struct {
+		Driver driver `json:"driver"`
+	}
+	type run struct {
+		Tool    tool     `json:"tool"`
+		Results []result `json:"results"`
+	}
+	type log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []run  `json:"runs"`
+	}
+
+	rules := make([]rule, len(sarifRules))
+	for i, ri := range sarifRules {
+		rules[i] = rule{ID: ri.id, Name: ri.name, ShortDesc: text{ri.short},
+			HelpURI: "docs/lint.md"}
+		rules[i].Default.Level = ri.level
+	}
+	results := make([]result, 0, len(r.Diags))
+	for i := range r.Diags {
+		d := &r.Diags[i]
+		level := "warning"
+		if d.Severity == SevError {
+			level = "error"
+		}
+		res := result{
+			RuleID:  d.Code,
+			Level:   level,
+			Message: text{d.String()},
+			Locations: []location{{PhysicalLocation: physicalLocation{
+				ArtifactLocation: artifactLocation{URI: uri},
+			}}},
+			Properties: map[string]string{},
+		}
+		if d.Line > 0 {
+			res.Locations[0].PhysicalLocation.Region = &region{StartLine: d.Line}
+		}
+		if d.Task != "" {
+			res.Properties["task"] = d.Task
+		}
+		if d.Reg != "" {
+			res.Properties["reg"] = d.Reg
+		}
+		if d.Addr != 0 {
+			res.Properties["addr"] = fmt.Sprintf("0x%x", d.Addr)
+		}
+		if len(res.Properties) == 0 {
+			res.Properties = nil
+		}
+		results = append(results, res)
+	}
+
+	l := log{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []run{{
+			Tool:    tool{Driver: driver{Name: "mslint", InformationURI: "docs/lint.md", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(&l, "", "  ")
+}

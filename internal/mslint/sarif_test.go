@@ -1,0 +1,114 @@
+package mslint_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"multiscalar/internal/mslint"
+)
+
+// orderSrc produces four findings across two anchors: $s3 is dead at
+// every successor (MS002) and $s1 is never written (MS017), both
+// anchored at the task entry on line 3; neither is ever sent, so the
+// coverage check flags both at the exit on line 4.
+const orderSrc = `
+main:
+	li $s0, 1 !f
+	j next !s
+next:
+	add $a0, $s0, $s1
+	li $v0, 10
+	li $a0, 0
+	syscall
+.task main targets=next create=$s0,$s1,$s3
+.task next
+`
+
+// TestDiagnosticOrder pins the documented report order: ascending by
+// source line, then instruction address, then code, then register. The
+// four findings of orderSrc exercise every tier — two share line AND
+// address (code breaks the tie), two share line, address and code
+// (register breaks the tie).
+func TestDiagnosticOrder(t *testing.T) {
+	rep := lintSrc(t, orderSrc)
+	got := ""
+	for _, d := range rep.Diags {
+		got += fmt.Sprintf("%d:%s:%s ", d.Line, d.Code, d.Reg)
+	}
+	want := "3:MS002:$s3 3:MS017:$s1 4:MS003:$s1 4:MS003:$s3 "
+	if got != want {
+		t.Fatalf("diagnostic order:\n got %q\nwant %q\nreport:\n%s", got, want, rep)
+	}
+}
+
+// TestSARIF checks the SARIF 2.1.0 rendering: schema fields, full rule
+// metadata, one result per finding in report order, with line regions.
+func TestSARIF(t *testing.T) {
+	rep := lintSrc(t, orderSrc)
+	data, err := rep.SARIF("prog.s")
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q, %d runs", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "mslint" {
+		t.Errorf("driver %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != 19 {
+		t.Errorf("%d rules, want 19 (docs/lint.md)", len(run.Tool.Driver.Rules))
+	}
+	if len(run.Results) != len(rep.Diags) {
+		t.Fatalf("%d results, %d diags", len(run.Results), len(rep.Diags))
+	}
+	for i, res := range run.Results {
+		d := &rep.Diags[i]
+		if res.RuleID != d.Code {
+			t.Errorf("result %d: rule %s, diag %s (order must match the report)", i, res.RuleID, d.Code)
+		}
+		wantLevel := "warning"
+		if d.Severity == mslint.SevError {
+			wantLevel = "error"
+		}
+		if res.Level != wantLevel {
+			t.Errorf("result %d: level %s, want %s", i, res.Level, wantLevel)
+		}
+		if len(res.Locations) != 1 ||
+			res.Locations[0].PhysicalLocation.ArtifactLocation.URI != "prog.s" ||
+			res.Locations[0].PhysicalLocation.Region.StartLine != d.Line {
+			t.Errorf("result %d: bad location %+v", i, res.Locations)
+		}
+	}
+}

@@ -26,6 +26,24 @@ func init() {
 		Source:       sieveSource,
 		Paper:        extraPaperRow,
 	})
+	register(&Workload{
+		Name:         "hashmix",
+		Description:  "per-key hash via a function task; ABI-conservative hand annotations (extra)",
+		Extra:        true,
+		DefaultScale: 300, // number of keys
+		TestScale:    60,
+		Source:       hashmixSource,
+		Paper:        extraPaperRow,
+	})
+	register(&Workload{
+		Name:         "bsearch",
+		Description:  "binary search per query via a function task with a data-dependent loop (extra)",
+		Extra:        true,
+		DefaultScale: 256, // number of queries
+		TestScale:    50,
+		Source:       bsearchSource,
+		Paper:        extraPaperRow,
+	})
 }
 
 // extraPaperRow marks reference numbers as not-applicable (non-zero so
@@ -186,6 +204,159 @@ CSKIP:
 	.task main targets=CAND create=$s0,$s5
 	.task CAND targets=CAND,COUNT create=$s0
 	.task COUNT
+`)
+	return sb.String()
+}
+
+// hashmixSource exercises the paper's function tasks: each loop
+// iteration calls a hash routine that is its own task (stop-tagged jal
+// with pushra/call metadata) and accumulates the result in the
+// continuation task. The hash body is hand-annotated the way a careful
+// author following the ABI return contract writes it: every written
+// register the ABI calls live-at-return ($v0 plus the $v1/$s7 scratch)
+// goes into the create mask and is forwarded at its last write — tight
+// against the documented contract, looser than the flow-derived truth
+// (no caller reads $v1 or $s7), which is exactly the slack the
+// annotation optimizer recovers.
+func hashmixSource(scale int) string {
+	n := scale
+	r := newRNG(0x4a51)
+	var keys []int
+	for i := 0; i < n; i++ {
+		keys = append(keys, r.intn(100000))
+	}
+	var sb strings.Builder
+	sb.WriteString("\t.data\nhkeys:\n")
+	sb.WriteString(wordLines(keys))
+	sb.WriteString(`
+	.text
+main:
+	li   $s0, 0 !f           ; key index
+	li   $s1, 0 !f           ; checksum
+`)
+	sb.WriteString("\tli   $s5, " + itoa(n) + " !f\n")
+	sb.WriteString(`	j    HLOOK !s
+
+	; one key per round trip: load the argument, call the hash function
+	; as its own task
+HLOOK:
+	sll  $t0, $s0, 2
+	lw   $a0, hkeys($t0) !f
+	jal  HASH !s !f
+HCONT:
+	add  $s1, $s1, $v0 !f
+	addi $s0, $s0, 1 !f
+	bne  $s0, $s5, HLOOK !s
+
+HDONE:
+	move $a0, $s1
+` + printInt + exitSeq + `
+
+	; mix one key; $v1 and $s7 are scratch the ABI view keeps live
+HASH:
+	sll  $t0, $a0, 3
+	xor  $v1, $t0, $a0 !f
+	srl  $t1, $v1, 5
+	add  $s7, $v1, $t1 !f
+	andi $t2, $s7, 1023
+	mul  $t3, $t2, 37
+	add  $v0, $t3, $a0
+	xor  $v0, $v0, $s7 !f
+	jr   $ra !s
+
+	.task main targets=HLOOK create=$s0,$s1,$s5
+	.task HLOOK targets=HASH pushra=HCONT call=HASH create=$a0,$ra
+	.task HASH targets=ret create=$v0,$v1,$s7
+	.task HCONT targets=HLOOK,HDONE create=$s0,$s1
+	.task HDONE
+`)
+	return sb.String()
+}
+
+// bsearchSource: each query task calls a binary-search function task
+// whose loop length is data-dependent (variable-latency function tasks).
+// Like hashmix, the hand annotations follow the ABI return contract:
+// the probe scratch ($s6) and depth counter ($v1) are created and
+// released even though no caller reads them.
+func bsearchSource(scale int) string {
+	n := scale
+	const tsize = 64
+	r := newRNG(0xb5ea)
+	var queries []int
+	for i := 0; i < n; i++ {
+		queries = append(queries, r.intn(3*tsize+10))
+	}
+	var table []int
+	for i := 0; i < tsize; i++ {
+		table = append(table, 3*i+1)
+	}
+	var sb strings.Builder
+	sb.WriteString("\t.data\nbtable:\n")
+	sb.WriteString(wordLines(table))
+	sb.WriteString("bqueries:\n")
+	sb.WriteString(wordLines(queries))
+	sb.WriteString(`
+	.text
+main:
+	li   $s0, 0 !f           ; query index
+	li   $s1, 0 !f           ; checksum
+`)
+	sb.WriteString("\tli   $s5, " + itoa(n) + " !f\n")
+	sb.WriteString(`	j    QLOOK !s
+
+QLOOK:
+	sll  $t0, $s0, 2
+	lw   $a0, bqueries($t0) !f
+	jal  BFIND !s !f
+QCONT:
+	add  $s1, $s1, $v0 !f
+	addi $s0, $s0, 1 !f
+	bne  $s0, $s5, QLOOK !s
+
+QDONE:
+	move $a0, $s1
+` + printInt + exitSeq + `
+
+	; binary search for $a0; returns the index in $v0 or -1. The probe
+	; value ($s6) and depth counter ($v1) are ABI-live scratch.
+BFIND:
+	li   $t0, 0              ; lo
+`)
+	sb.WriteString("\tli   $t1, " + itoa(tsize) + "       ; hi\n")
+	sb.WriteString(`	li   $v1, 0
+	li   $s6, 0
+BLOOP:
+	slt  $at, $t0, $t1
+	beqz $at, BMISS
+	add  $t2, $t0, $t1
+	srl  $t2, $t2, 1
+	sll  $t3, $t2, 2
+	lw   $s6, btable($t3)
+	addi $v1, $v1, 1
+	beq  $s6, $a0, BHIT
+	slt  $at, $s6, $a0
+	beqz $at, BHI
+	addi $t0, $t2, 1
+	j    BLOOP
+BHI:
+	move $t1, $t2
+	j    BLOOP
+BHIT:
+	move $v0, $t2 !f
+	.msonly release $v1
+	.msonly release $s6
+	jr   $ra !s
+BMISS:
+	li   $v0, -1 !f
+	.msonly release $v1
+	.msonly release $s6
+	jr   $ra !s
+
+	.task main targets=QLOOK create=$s0,$s1,$s5
+	.task QLOOK targets=BFIND pushra=QCONT call=BFIND create=$a0,$ra
+	.task BFIND targets=ret create=$v0,$v1,$s6
+	.task QCONT targets=QLOOK,QDONE create=$s0,$s1
+	.task QDONE
 `)
 	return sb.String()
 }

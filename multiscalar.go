@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 
+	"multiscalar/internal/annotate"
 	"multiscalar/internal/asm"
 	"multiscalar/internal/core"
 	"multiscalar/internal/interp"
@@ -146,6 +147,28 @@ func Lint(p *Program, lines map[uint32]int) *LintReport {
 func Partition(p *Program, opt PartitionOptions) error {
 	_, err := taskpart.Run(p, opt)
 	return err
+}
+
+// AnnotatePlan is the annotation optimizer's per-task edit plan: minimal
+// create masks, forward-bit placement, release changes (docs/annotate.md).
+type AnnotatePlan = annotate.Plan
+
+// Optimize tightens a program's task annotations at the binary level:
+// create masks shrink to the flow-derived minimum (every dropped bit is
+// one ring send fewer per task execution), forward bits move to last
+// updates, dead sends are removed. The input program is not modified;
+// the optimized clone and the edit plan are returned.
+func Optimize(p *Program) (*Program, *AnnotatePlan) {
+	return annotate.Optimize(p)
+}
+
+// OptimizeSource tightens the annotations of assembly source text,
+// additionally inserting releases on flush-only paths. The rewritten
+// source is re-assembled under the lint gate and held to the functional
+// oracle (identical output and exit code) before it is returned;
+// unchanged sources are returned as-is.
+func OptimizeSource(src string) (string, *AnnotatePlan, error) {
+	return annotate.RewriteSource(src)
 }
 
 // InterpResult is the outcome of a functional execution.

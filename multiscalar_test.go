@@ -145,7 +145,7 @@ loop:
 
 func TestFacadeWorkloadRegistry(t *testing.T) {
 	names := multiscalar.WorkloadNames()
-	if len(names) != 12 { // 10 paper benchmarks + 2 extras
+	if len(names) != 14 { // 10 paper benchmarks + 4 extras
 		t.Fatalf("names = %v", names)
 	}
 	if names[9] != "example" {
