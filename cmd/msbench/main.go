@@ -18,6 +18,8 @@
 //	msbench -all -seq             force the sequential path
 //	msbench -all -json out.json   also write a timing/throughput report
 //	msbench -all -noskip          force the dense per-cycle simulation loop
+//	msbench -sections table3,sweep
+//	                              run an arbitrary subset of sections by name
 //	msbench -all -json out.json -baseline BENCH.json -tolerance 0.25
 //	                              compare per-section wall clock against a
 //	                              checked-in baseline; exit 1 on regression
@@ -27,13 +29,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
 	"runtime/pprof"
+	"strings"
 
 	"multiscalar/internal/bench"
 	"multiscalar/internal/isa"
 )
 
 func main() {
+	// Batch tool: trade heap headroom for throughput. The timing cores
+	// allocate steadily (ARB entries, cache fills, result assembly) and
+	// the default GOGC=100 spends a double-digit share of a full run in
+	// collection and write-barrier work on the 1-core CI runner.
+	debug.SetGCPercent(400)
 	var (
 		table      = flag.Int("table", 0, "print one table (1-4)")
 		all        = flag.Bool("all", false, "print every table")
@@ -49,6 +58,7 @@ func main() {
 		jsonOut    = flag.String("json", "", "write a machine-readable timing/throughput report to this file (- for stdout)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		noskip     = flag.Bool("noskip", false, "disable the simulator's wakeup scheduler (dense per-cycle ticking; tables are byte-identical either way)")
+		sections   = flag.String("sections", "", "comma-separated sections to run (table1,table2,table3,table4,breakdown,ablate,sweep,mix,annotate)")
 		baseline   = flag.String("baseline", "", "compare the -json report's section times against this checked-in BENCH_*.json and exit 1 on regression")
 		tolerance  = flag.Float64("tolerance", 0.25, "allowed fractional slowdown per section for -baseline (0.25 = +25%)")
 	)
@@ -67,6 +77,29 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	// -sections picks an arbitrary subset by name, so a regression hunt on
+	// one table doesn't pay for the full -all run.
+	sel := make(map[string]bool)
+	if *sections != "" {
+		known := map[string]bool{
+			"table1": true, "table2": true, "table3": true, "table4": true,
+			"breakdown": true, "ablate": true, "sweep": true, "mix": true,
+			"annotate": true,
+		}
+		for _, name := range strings.Split(*sections, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "msbench: unknown section %q (valid: table1,table2,table3,table4,breakdown,ablate,sweep,mix,annotate)\n", name)
+				os.Exit(2)
+			}
+			sel[name] = true
+		}
+	}
+	want := func(name string) bool { return sel[name] }
+
 	scale := bench.Scale(0)
 	if *quick {
 		scale = -1
@@ -74,11 +107,11 @@ func main() {
 	report := bench.NewReport(scale)
 
 	ran := false
-	if *all || *table == 1 {
+	if *all || *table == 1 || want("table1") {
 		report.Time("table1", printTable1)
 		ran = true
 	}
-	if *all || *table == 2 {
+	if *all || *table == 2 || want("table2") {
 		report.Time("table2", func() {
 			rows, err := bench.Table2(scale)
 			check(err)
@@ -86,7 +119,7 @@ func main() {
 		})
 		ran = true
 	}
-	if *all || *table == 3 {
+	if *all || *table == 3 || want("table3") {
 		report.Time("table3", func() {
 			for _, width := range []int{1, 2} {
 				rows, err := bench.PerfTable(width, false, scale)
@@ -97,7 +130,7 @@ func main() {
 		})
 		ran = true
 	}
-	if *all || *table == 4 {
+	if *all || *table == 4 || want("table4") {
 		report.Time("table4", func() {
 			for _, width := range []int{1, 2} {
 				rows, err := bench.PerfTable(width, true, scale)
@@ -108,7 +141,7 @@ func main() {
 		})
 		ran = true
 	}
-	if *breakdown || *all {
+	if *breakdown || *all || want("breakdown") {
 		report.Time("breakdown", func() {
 			rows, err := bench.Breakdown(*units, scale)
 			check(err)
@@ -116,13 +149,13 @@ func main() {
 		})
 		ran = true
 	}
-	if *ablate || *all {
+	if *ablate || *all || want("ablate") {
 		report.Time("ablate", func() { runAblations(scale) })
 		ran = true
 	}
 	// Deliberately not part of -all: the -all output stays byte-identical
 	// with the annotation optimizer present but unused.
-	if *annotate {
+	if *annotate || want("annotate") {
 		report.Time("annotate", func() {
 			rows, err := bench.AnnotateAblation(scale)
 			check(err)
@@ -130,7 +163,7 @@ func main() {
 		})
 		ran = true
 	}
-	if *sweep || *all {
+	if *sweep || *all || want("sweep") {
 		report.Time("sweep", func() {
 			curves, err := bench.SpeedupCurves(1, false, scale, []int{2, 4, 8, 16})
 			check(err)
@@ -138,7 +171,7 @@ func main() {
 		})
 		ran = true
 	}
-	if *mix || *all {
+	if *mix || *all || want("mix") {
 		report.Time("mix", func() {
 			rows, err := bench.Mixes(scale)
 			check(err)

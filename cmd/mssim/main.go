@@ -34,6 +34,9 @@ func main() {
 		showOut  = flag.Bool("out", false, "print the program's output")
 		stats    = flag.Bool("stats", false, "print simulator statistics (cycles simulated vs ticked, skip ratio)")
 		noskip   = flag.Bool("noskip", false, "disable the wakeup scheduler (dense per-cycle ticking; results are identical)")
+		chkFile  = flag.String("checkpoint", "", "write a machine snapshot to this file, then continue (see -checkpoint-at)")
+		chkAt    = flag.Uint64("checkpoint-at", 0, "cycle to take the -checkpoint snapshot at")
+		restore  = flag.String("restore", "", "resume from a snapshot file (same program, scale and machine flags as the saving run)")
 	)
 	flag.Parse()
 
@@ -78,6 +81,18 @@ func main() {
 	}
 	cfg.NoSkip = *noskip
 	opts := append(runOpts, multiscalar.WithVerify())
+	if *chkFile != "" {
+		opts = append(opts, multiscalar.WithCheckpoint(*chkAt, func(snap []byte) error {
+			return os.WriteFile(*chkFile, snap, 0o644)
+		}))
+	}
+	if *restore != "" {
+		snap, err := os.ReadFile(*restore)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, multiscalar.RestoreFrom(snap))
+	}
 	if *mstrc != "" {
 		f, err := os.Create(*mstrc)
 		if err != nil {

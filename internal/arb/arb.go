@@ -76,7 +76,11 @@ type ARB struct {
 	Sink trace.Sink
 	Now  uint64
 
-	banks []map[uint32]*entry
+	banks []arbBank
+	// bankMask is NumBanks-1 when NumBanks is a power of two (the usual
+	// cache-matched geometry), letting bankOf mask instead of divide on
+	// the per-memory-op path; -1 selects the modulo fallback.
+	bankMask int
 
 	// touchLists[u] holds the entries unit u has bits in, so ClearUnit
 	// and Commit visit only those instead of sweeping every bank — the
@@ -103,12 +107,84 @@ func New(numUnits, numBanks, entriesPerBank int, policy OverflowPolicy) *ARB {
 		EntriesPerBank: entriesPerBank,
 		Policy:         policy,
 	}
-	a.banks = make([]map[uint32]*entry, numBanks)
-	for i := range a.banks {
-		a.banks[i] = make(map[uint32]*entry)
+	a.banks = make([]arbBank, numBanks)
+	a.bankMask = -1
+	if numBanks > 0 && numBanks&(numBanks-1) == 0 {
+		a.bankMask = numBanks - 1
 	}
 	a.touchLists = make([][]*entry, numUnits)
 	return a
+}
+
+// arbBank indexes one bank's live entries with dense parallel arrays
+// (keys[i] == ents[i].chunk): occupancy is bounded by EntriesPerBank and
+// usually a few dozen chunks, so a linear key scan beats a map on the
+// simulator's per-memory-op path, and released entries are pooled for
+// reuse instead of churning 300-byte heap allocations. Pooling is safe
+// because release only fires on an empty entry as it leaves the last
+// touch list that references it.
+type arbBank struct {
+	keys []uint32
+	ents []*entry
+	pool []*entry
+}
+
+func (b *arbBank) find(chunk uint32) *entry {
+	for i, k := range b.keys {
+		if k == chunk {
+			return b.ents[i]
+		}
+	}
+	return nil
+}
+
+func (b *arbBank) insert(e *entry) {
+	b.keys = append(b.keys, e.chunk)
+	b.ents = append(b.ents, e)
+}
+
+// take returns a zeroed entry for chunk, reusing a pooled one if
+// available, and inserts it.
+func (b *arbBank) take(chunk uint32) *entry {
+	var e *entry
+	if n := len(b.pool); n > 0 {
+		e = b.pool[n-1]
+		b.pool = b.pool[:n-1]
+		*e = entry{chunk: chunk}
+	} else {
+		e = &entry{chunk: chunk}
+	}
+	b.insert(e)
+	return e
+}
+
+// remove drops e from the bank (identity-checked) and pools it.
+func (b *arbBank) remove(e *entry) {
+	for i, k := range b.keys {
+		if k == e.chunk {
+			if b.ents[i] != e {
+				return
+			}
+			last := len(b.keys) - 1
+			b.keys[i] = b.keys[last]
+			b.ents[i] = b.ents[last]
+			b.keys = b.keys[:last]
+			b.ents[last] = nil
+			b.ents = b.ents[:last]
+			b.pool = append(b.pool, e)
+			return
+		}
+	}
+}
+
+// reset empties the bank, keeping the allocated entries pooled.
+func (b *arbBank) reset() {
+	b.pool = append(b.pool, b.ents...)
+	b.keys = b.keys[:0]
+	for i := range b.ents {
+		b.ents[i] = nil
+	}
+	b.ents = b.ents[:0]
 }
 
 // touch puts e on unit's touch list (once). Callers must only touch
@@ -123,32 +199,36 @@ func (a *ARB) touch(e *entry, unit int) {
 	}
 }
 
-func (a *ARB) bankOf(chunk uint32) int { return int(chunk) % a.NumBanks }
+func (a *ARB) bankOf(chunk uint32) int {
+	if a.bankMask >= 0 {
+		return int(chunk) & a.bankMask
+	}
+	return int(chunk) % a.NumBanks
+}
 
 // dist is the stage distance of unit u from the head in circular order.
 func (a *ARB) dist(u, head int) int { return (u - head + a.NumUnits) % a.NumUnits }
 
 // find returns the entry for a chunk, or nil.
 func (a *ARB) find(chunk uint32) *entry {
-	return a.banks[a.bankOf(chunk)][chunk]
+	return a.banks[a.bankOf(chunk)].find(chunk)
 }
 
 // alloc returns the entry for a chunk, allocating it if needed. ok=false
 // means the bank is full (the caller applies the overflow policy).
 func (a *ARB) alloc(chunk uint32) (*entry, bool) {
-	bank := a.banks[a.bankOf(chunk)]
-	if e := bank[chunk]; e != nil {
+	bank := &a.banks[a.bankOf(chunk)]
+	if e := bank.find(chunk); e != nil {
 		return e, true
 	}
-	if len(bank) >= a.EntriesPerBank {
+	if len(bank.keys) >= a.EntriesPerBank {
 		a.Overflows++
 		if a.Sink != nil {
 			a.Sink.Emit(trace.Event{Cycle: a.Now, Kind: trace.KARBOverflow, Unit: -1, Task: -1, Arg: chunk * chunkBytes})
 		}
 		return nil, false
 	}
-	e := &entry{chunk: chunk}
-	bank[chunk] = e
+	e := bank.take(chunk)
 	if a.Sink != nil {
 		a.Sink.Emit(trace.Event{Cycle: a.Now, Kind: trace.KARBAlloc, Unit: -1, Task: -1, Arg: chunk * chunkBytes})
 	}
@@ -335,10 +415,7 @@ func (a *ARB) release(e *entry) {
 	if !e.empty() {
 		return
 	}
-	bank := a.banks[a.bankOf(e.chunk)]
-	if bank[e.chunk] == e {
-		delete(bank, e.chunk)
-	}
+	a.banks[a.bankOf(e.chunk)].remove(e)
 }
 
 // View reads memory as `unit` would see it (ARB first, then backing) —
@@ -381,8 +458,8 @@ func (v *View) Byte(addr uint32) byte {
 // Occupancy returns the total entries in use (for stats / stall policy).
 func (a *ARB) Occupancy() int {
 	n := 0
-	for _, bank := range a.banks {
-		n += len(bank)
+	for i := range a.banks {
+		n += len(a.banks[i].keys)
 	}
 	return n
 }
@@ -392,17 +469,17 @@ func (a *ARB) Occupancy() int {
 // overflow.
 func (a *ARB) BankFull(addr uint32) bool {
 	chunk := addr / chunkBytes
-	bank := a.banks[a.bankOf(chunk)]
-	if _, ok := bank[chunk]; ok {
+	bank := &a.banks[a.bankOf(chunk)]
+	if bank.find(chunk) != nil {
 		return false
 	}
-	return len(bank) >= a.EntriesPerBank
+	return len(bank.keys) >= a.EntriesPerBank
 }
 
 // Reset clears everything.
 func (a *ARB) Reset() {
 	for i := range a.banks {
-		a.banks[i] = make(map[uint32]*entry)
+		a.banks[i].reset()
 	}
 	for i := range a.touchLists {
 		a.touchLists[i] = a.touchLists[i][:0]

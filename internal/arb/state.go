@@ -1,0 +1,115 @@
+package arb
+
+import (
+	"sort"
+
+	"multiscalar/internal/snapshot"
+)
+
+// SaveState serializes the ARB: every live entry (banks in index
+// order, entries within a bank in ascending chunk order so identical
+// contents give identical bytes), then each unit's touch list as a
+// chunk sequence. Touch-list order matters — ClearUnit and Commit
+// visit entries in list order, and release order decides which chunk
+// stays resident when a bank refills — so the lists are serialized
+// explicitly instead of being rebuilt from the touched bits.
+func (a *ARB) SaveState(e *snapshot.Encoder) {
+	e.Tag("ARB ")
+	e.Len(a.NumBanks)
+	for i := range a.banks {
+		ents := append([]*entry(nil), a.banks[i].ents...)
+		sort.Slice(ents, func(i, j int) bool { return ents[i].chunk < ents[j].chunk })
+		e.Len(len(ents))
+		for _, ent := range ents {
+			e.U32(ent.chunk)
+			e.U32(ent.touched)
+			for b := 0; b < chunkBytes; b++ {
+				e.U32(ent.loads[b])
+			}
+			for b := 0; b < chunkBytes; b++ {
+				e.U32(ent.stores[b])
+			}
+			for u := 0; u < a.NumUnits; u++ {
+				e.Raw(ent.data[u][:])
+			}
+		}
+	}
+	e.Len(a.NumUnits)
+	for _, list := range a.touchLists {
+		e.Len(len(list))
+		for _, ent := range list {
+			e.U32(ent.chunk)
+		}
+	}
+	e.U64(a.Violations)
+	e.U64(a.Overflows)
+	e.U64(a.StoreForwards)
+	e.U64(a.LoadsTracked)
+	e.U64(a.StoresTracked)
+}
+
+// LoadState restores the ARB contents into an ARB constructed with
+// the same geometry; touch-list entries are re-resolved to the
+// restored bank entries by chunk.
+func (a *ARB) LoadState(d *snapshot.Decoder) {
+	d.Tag("ARB ")
+	if n := d.Len(1 << 10); d.Err() == nil && n != a.NumBanks {
+		d.Failf("arb: %d banks, machine has %d", n, a.NumBanks)
+	}
+	if d.Err() != nil {
+		return
+	}
+	for i := range a.banks {
+		n := d.Len(1 << 20)
+		a.banks[i].reset()
+		for j := 0; j < n; j++ {
+			ent := &entry{}
+			ent.chunk = d.U32()
+			ent.touched = d.U32()
+			for b := 0; b < chunkBytes; b++ {
+				ent.loads[b] = d.U32()
+			}
+			for b := 0; b < chunkBytes; b++ {
+				ent.stores[b] = d.U32()
+			}
+			for u := 0; u < a.NumUnits; u++ {
+				d.Raw(ent.data[u][:])
+			}
+			if d.Err() != nil {
+				return
+			}
+			if a.bankOf(ent.chunk) != i {
+				d.Failf("arb: chunk 0x%x in bank %d", ent.chunk, i)
+				return
+			}
+			a.banks[i].insert(ent)
+		}
+	}
+	if n := d.Len(MaxUnits); d.Err() == nil && n != a.NumUnits {
+		d.Failf("arb: %d touch lists, machine has %d units", n, a.NumUnits)
+	}
+	if d.Err() != nil {
+		return
+	}
+	for u := range a.touchLists {
+		n := d.Len(1 << 20)
+		a.touchLists[u] = a.touchLists[u][:0]
+		for j := 0; j < n; j++ {
+			c := d.U32()
+			if d.Err() != nil {
+				return
+			}
+			ent := a.banks[a.bankOf(c)].find(c)
+			if ent == nil {
+				d.Failf("arb: touch list for unit %d references absent chunk 0x%x", u, c)
+				return
+			}
+			a.touchLists[u] = append(a.touchLists[u], ent)
+		}
+	}
+	a.Violations = d.U64()
+	a.Overflows = d.U64()
+	a.StoreForwards = d.U64()
+	a.LoadsTracked = d.U64()
+	a.StoresTracked = d.U64()
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"multiscalar"
 	"multiscalar/internal/arb"
 	"multiscalar/internal/asm"
 	"multiscalar/internal/core"
@@ -22,18 +21,11 @@ type AblationRow struct {
 
 // runMSConfig runs one multiscalar binary under cfg, verifying against
 // the oracle reference o (the memoized functional run of the same
-// program — or of a semantically equivalent transform of it).
-func runMSConfig(p *isa.Program, o Oracle, cfg core.Config) (*core.Result, error) {
-	applyRunFlags(&cfg)
-	res, err := multiscalar.Run(p, cfg)
-	if err != nil {
-		return nil, err
-	}
-	if res.Out != o.Out || res.Committed != o.ICount {
-		return nil, fmt.Errorf("ablation run diverged from oracle")
-	}
-	recordRun(res)
-	return res, nil
+// program — or of a semantically equivalent transform of it). Points
+// identical to an already-simulated one — every sweep's unablated row —
+// fast-forward from its shared snapshot (runShared).
+func runMSConfig(p *isa.Program, o Oracle, cfg core.Config, input []byte) (*core.Result, error) {
+	return runShared(p, o, cfg, input, "ablation run")
 }
 
 // sweep builds `name` once (memoized), fans the configuration points out
@@ -50,9 +42,10 @@ func sweep(name string, scale Scale, n int, cfgOf func(i int) core.Config,
 	if err != nil {
 		return nil, err
 	}
+	input := inputFor(name)
 	results := make([]*core.Result, n)
 	err = runJobs(n, func(i int) error {
-		res, err := runMSConfig(p, o, cfgOf(i))
+		res, err := runMSConfig(p, o, cfgOf(i), input)
 		results[i] = res
 		return err
 	})
@@ -145,10 +138,11 @@ func ForwardingAblation(name string, scale Scale) ([]AblationRow, error) {
 	stripped := cloneProgram(p)
 	stripForwarding(stripped)
 
+	input := inputFor(name)
 	results := make([]*core.Result, 2)
 	progs := []*isa.Program{p, stripped}
 	err = runJobs(2, func(i int) error {
-		res, err := runMSConfig(progs[i], o, core.DefaultConfig(8, 1, false))
+		res, err := runMSConfig(progs[i], o, core.DefaultConfig(8, 1, false), input)
 		results[i] = res
 		return err
 	})

@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"strings"
 
-	"multiscalar"
 	"multiscalar/internal/asm"
 	"multiscalar/internal/core"
 	"multiscalar/internal/pu"
@@ -98,25 +97,17 @@ func runOne(w *workloads.Workload, scale Scale, units, width int, ooo bool) (*co
 	if err != nil {
 		return nil, err
 	}
-	// Verification is against the memoized oracle below, not WithVerify
-	// (which would re-interpret the program on every configuration).
+	// Verification is against the memoized oracle inside runShared, not
+	// WithVerify (which would re-interpret the program on every
+	// configuration).
 	var cfg core.Config
 	if units <= 1 {
 		cfg = core.ScalarConfig(width, ooo)
 	} else {
 		cfg = core.DefaultConfig(units, width, ooo)
 	}
-	applyRunFlags(&cfg)
-	res, err := multiscalar.Run(p, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("%s units=%d width=%d ooo=%v: %w", w.Name, units, width, ooo, err)
-	}
-	if res.Out != o.Out || res.Committed != o.ICount {
-		return nil, fmt.Errorf("%s units=%d: diverged from oracle (committed %d vs %d)",
-			w.Name, units, res.Committed, o.ICount)
-	}
-	recordRun(res)
-	return res, nil
+	return runShared(p, o, cfg, inputFor(w.Name),
+		fmt.Sprintf("%s units=%d width=%d ooo=%v", w.Name, units, width, ooo))
 }
 
 // PerfTable computes Table 3 (outOfOrder=false) or Table 4 (true) for one

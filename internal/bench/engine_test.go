@@ -3,10 +3,12 @@ package bench
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 
 	"multiscalar/internal/asm"
+	"multiscalar/internal/core"
 	"multiscalar/internal/isa"
 	"multiscalar/internal/workloads"
 )
@@ -248,5 +250,55 @@ func TestCloneProgramIsolatesText(t *testing.T) {
 	q.Text[0].Fwd = !q.Text[0].Fwd
 	if p.Text[0] != orig {
 		t.Error("mutating the clone changed the memoized program")
+	}
+}
+
+// TestRunSharingMatchesIsolated pins the fast-forward discipline the
+// shared-run cache promises: a duplicate simulation point, answered by
+// restoring the first run's finished-machine snapshot and re-running,
+// must produce a Result identical to a fresh, isolated full simulation.
+func TestRunSharingMatchesIsolated(t *testing.T) {
+	ResetMemo()
+	w := workloads.Get("wc")
+	if w == nil {
+		t.Fatal("workload wc missing")
+	}
+	p, o, err := buildOracle(w, asm.ModeMultiscalar, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(4, 1, false)
+	input := inputFor(w.Name)
+
+	first, err := runShared(p, o, cfg, input, "first point")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := RunsRestored()
+	dup, err := runShared(p, o, cfg, input, "duplicate point")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RunsRestored() - before; got != 1 {
+		t.Fatalf("RunsRestored delta = %d, want 1 (duplicate must fast-forward)", got)
+	}
+
+	// Isolated reference: a fresh machine simulating the point in full,
+	// outside the cache. applyRunFlags mirrors what runShared applied.
+	refCfg := cfg
+	applyRunFlags(&refCfg)
+	m, err := newMachine(p, refCfg, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isolated, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dup, isolated) {
+		t.Errorf("restored duplicate diverges from isolated run:\nrestored: %+v\nisolated: %+v", dup, isolated)
+	}
+	if !reflect.DeepEqual(first, dup) {
+		t.Errorf("restored duplicate diverges from the run that built the snapshot:\nfirst: %+v\ndup:   %+v", first, dup)
 	}
 }

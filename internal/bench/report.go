@@ -43,6 +43,9 @@ type Report struct {
 	// Builds that actually ran (memo misses): assemble + functional
 	// oracle executions.
 	Builds uint64 `json:"builds"`
+	// Simulation points answered by restoring a shared finished-run
+	// snapshot instead of simulating again (docs/perf.md).
+	RunsRestored uint64 `json:"runs_restored"`
 
 	// Throughput of the simulators themselves over the whole invocation.
 	MSimCyclesPerSec float64 `json:"msim_cycles_per_sec"`
@@ -87,6 +90,7 @@ func (r *Report) Finalize() ([]byte, error) {
 		r.CycleSkipRatio = float64(r.SimCycles-r.SimCyclesTicked) / float64(r.SimCycles)
 	}
 	r.Builds = BuildsPerformed()
+	r.RunsRestored = RunsRestored()
 	if r.TotalSeconds > 0 {
 		r.MSimCyclesPerSec = float64(r.SimCycles) / r.TotalSeconds / 1e6
 		r.MIPS = float64(r.SimInstructions) / r.TotalSeconds / 1e6

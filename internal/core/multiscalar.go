@@ -68,6 +68,11 @@ type Multiscalar struct {
 	exts  []*msExt
 	rfs   []*regFile
 	tasks []*taskState
+	// taskPool backs tasks: assignment is frequent (every task is one)
+	// and a taskState is never referenced after its tasks slot is
+	// cleared, so doAssign reuses the unit's pooled state instead of
+	// heap-allocating per task.
+	taskPool []taskState
 
 	head   int
 	active int
@@ -118,6 +123,10 @@ type Multiscalar struct {
 	sink    trace.Sink
 	nextSeq int32
 
+	// Checkpoint hook (ScheduleCheckpoint).
+	chkAt uint64
+	chkFn func() error
+
 	// Statistics.
 	committed      uint64
 	tasksRetired   uint64
@@ -144,12 +153,11 @@ func NewMultiscalar(prog *isa.Program, env *interp.SysEnv, cfg Config) (*Multisc
 		cfg:     cfg,
 		prog:    prog,
 		env:     env,
-		backing: mem.NewMemory(),
+		backing: mem.NewMemoryFromImage(interp.ProgramImage(prog)),
 		bus:     mem.NewBus(),
 		viol:    -1,
 		sink:    cfg.Sink,
 	}
-	m.backing.WriteBytes(isa.DataBase, prog.Data)
 	m.dbanks = mem.NewBankedDCache(cfg.NumBanks(), cfg.DBankBytes, cfg.DBlockBytes, cfg.DCacheHit, cfg.NumMSHRs, m.bus)
 	m.arb = arb.New(cfg.NumUnits, cfg.NumBanks(), cfg.ARBEntries, cfg.ARBPolicy)
 	m.descCache = mem.NewCache("desccache", cfg.DescCacheEntries*16, 16, 0, 1, m.bus)
@@ -184,6 +192,7 @@ func NewMultiscalar(prog *isa.Program, env *interp.SysEnv, cfg Config) (*Multisc
 		m.rfs = append(m.rfs, &regFile{})
 		m.tasks = append(m.tasks, nil)
 	}
+	m.taskPool = make([]taskState, cfg.NumUnits)
 	m.sendAt = make([]uint64, cfg.NumUnits)
 	m.sendN = make([]int, cfg.NumUnits)
 	m.sendBusy = make([]uint64, cfg.NumUnits)
@@ -222,6 +231,13 @@ func (m *Multiscalar) withinActive(u int) bool { return m.dist(u) < m.active }
 func (m *Multiscalar) Run() (*Result, error) {
 	skip := !m.cfg.NoSkip && m.cfg.Trace == nil
 	for !m.finished {
+		if m.chkFn != nil && m.now >= m.chkAt {
+			fn := m.chkFn
+			m.chkFn = nil
+			if err := fn(); err != nil {
+				return nil, err
+			}
+		}
 		if m.now >= m.cfg.MaxCycles {
 			return nil, fmt.Errorf("core: multiscalar run exceeded %d cycles (deadlock?)", m.cfg.MaxCycles)
 		}

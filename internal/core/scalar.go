@@ -24,6 +24,17 @@ type Scalar struct {
 	dcache  *mem.Cache
 	unit    *pu.Unit
 	ext     *scalarExt
+
+	// Clock state lives on the struct (not as Run locals) so a
+	// checkpoint taken mid-run captures it and Restore resumes the loop
+	// where it stopped.
+	now     uint64
+	ticked  uint64
+	started bool
+
+	// Checkpoint hook (ScheduleCheckpoint).
+	chkAt uint64
+	chkFn func() error
 }
 
 // NewScalar builds a scalar machine for a program.
@@ -32,10 +43,9 @@ func NewScalar(prog *isa.Program, env *interp.SysEnv, cfg Config) *Scalar {
 		cfg:     cfg,
 		prog:    prog,
 		env:     env,
-		backing: mem.NewMemory(),
+		backing: mem.NewMemoryFromImage(interp.ProgramImage(prog)),
 		bus:     mem.NewBus(),
 	}
-	s.backing.WriteBytes(isa.DataBase, prog.Data)
 	s.icache = mem.NewCache("icache", cfg.ICacheBytes, cfg.ICacheBlock, 0, cfg.NumMSHRs, s.bus)
 	s.dcache = mem.NewCache("dcache", cfg.DBankBytes, cfg.DBlockBytes, cfg.DCacheHit, cfg.NumMSHRs, s.bus)
 	if cfg.Sink != nil {
@@ -59,14 +69,16 @@ func NewScalar(prog *isa.Program, env *interp.SysEnv, cfg Config) *Scalar {
 	return s
 }
 
-// Run executes the program to completion.
+// Run executes the program to completion (or resumes a restored run).
 func (s *Scalar) Run() (*Result, error) {
-	if s.cfg.Sink != nil {
-		s.unit.SetTraceTask(0)
-		s.cfg.Sink.Emit(trace.Event{Cycle: 0, Kind: trace.KTaskAssign, Unit: 0, Task: 0, Arg: s.prog.Entry})
+	if !s.started {
+		s.started = true
+		if s.cfg.Sink != nil {
+			s.unit.SetTraceTask(0)
+			s.cfg.Sink.Emit(trace.Event{Cycle: 0, Kind: trace.KTaskAssign, Unit: 0, Task: 0, Arg: s.prog.Entry})
+		}
+		s.unit.Start(s.prog.Entry, 0)
 	}
-	s.unit.Start(s.prog.Entry, 0)
-	var now, ticked uint64
 	// Same wakeup scheduler as the multiscalar loop (docs/perf.md), with
 	// only the unit itself to consult: after a cycle in which the unit
 	// changed no state, jump to its next latched timestamp (functional-unit
@@ -75,33 +87,40 @@ func (s *Scalar) Run() (*Result, error) {
 	// own NextEvent is the complete wakeup set.
 	skip := !s.cfg.NoSkip && s.cfg.Trace == nil
 	for !s.env.Exited {
-		if now >= s.cfg.MaxCycles {
+		if s.chkFn != nil && s.now >= s.chkAt {
+			fn := s.chkFn
+			s.chkFn = nil
+			if err := fn(); err != nil {
+				return nil, err
+			}
+		}
+		if s.now >= s.cfg.MaxCycles {
 			return nil, fmt.Errorf("core: scalar run exceeded %d cycles", s.cfg.MaxCycles)
 		}
-		ticked++
-		if _, err := s.unit.Tick(now); err != nil {
+		s.ticked++
+		if _, err := s.unit.Tick(s.now); err != nil {
 			return nil, err
 		}
 		if skip && !s.unit.Progressed() && !s.env.Exited {
-			if t := s.unit.NextEvent(now); t > now+1 {
+			if t := s.unit.NextEvent(s.now); t > s.now+1 {
 				if t > s.cfg.MaxCycles {
 					t = s.cfg.MaxCycles
 				}
-				s.unit.AddStallCycles(t - (now + 1))
-				now = t
+				s.unit.AddStallCycles(t - (s.now + 1))
+				s.now = t
 				continue
 			}
 		}
-		now++
+		s.now++
 	}
 	if s.cfg.Sink != nil {
-		s.cfg.Sink.Emit(trace.Event{Cycle: now, Kind: trace.KTaskRetire, Unit: 0, Task: 0,
+		s.cfg.Sink.Emit(trace.Event{Cycle: s.now, Kind: trace.KTaskRetire, Unit: 0, Task: 0,
 			Arg: s.unit.ExitPC(), Arg2: s.unit.Retired})
-		s.cfg.Sink.Emit(trace.Event{Cycle: now, Kind: trace.KRunEnd, Unit: -1, Task: -1, Arg2: now})
+		s.cfg.Sink.Emit(trace.Event{Cycle: s.now, Kind: trace.KRunEnd, Unit: -1, Task: -1, Arg2: s.now})
 	}
 	res := &Result{
-		Cycles:       now,
-		CyclesTicked: ticked,
+		Cycles:       s.now,
+		CyclesTicked: s.ticked,
 		Committed:    s.unit.Retired,
 		Out:          s.env.Out.String(),
 		ExitCode:     s.env.ExitCode,

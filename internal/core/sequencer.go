@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"multiscalar/internal/interp"
 	"multiscalar/internal/isa"
@@ -125,12 +126,14 @@ func (m *Multiscalar) doAssign(entry uint32, desc *isa.TaskDescriptor, now uint6
 	unit := (m.head + m.active) % m.cfg.NumUnits
 	seq := m.nextSeq
 	m.nextSeq++
-	m.tasks[unit] = &taskState{
+	ts := &m.taskPool[unit]
+	*ts = taskState{
 		desc:       desc,
 		entry:      entry,
 		assignedAt: now,
 		seq:        seq,
 	}
+	m.tasks[unit] = ts
 	m.rebuildRegs(unit, now)
 	if m.sink != nil {
 		m.units[unit].SetTraceTask(seq)
@@ -167,7 +170,11 @@ func (m *Multiscalar) rebuildRegs(unit int, now uint64) {
 		}
 		accum = accum.Union(qt.desc.Create)
 		hop := uint64((du - d) * m.cfg.RingLatency)
-		qt.desc.Create.ForEach(func(r isa.Reg) {
+		// Bit loop instead of RegMask.ForEach: the closure would
+		// capture loop-dependent state and heap-allocate on every
+		// rebuild, which is on the assignment/squash critical path.
+		for bm := qt.desc.Create; bm != 0; bm &= bm - 1 {
+			r := isa.Reg(bits.TrailingZeros64(uint64(bm)))
 			if qt.sentMask.Has(r) {
 				sv := qt.sentVals[r]
 				rf.vals[r] = sv.val
@@ -176,7 +183,7 @@ func (m *Multiscalar) rebuildRegs(unit int, now uint64) {
 			} else {
 				rf.pending = rf.pending.Set(r)
 			}
-		})
+		}
 	}
 	rf.accum = accum
 }
@@ -242,7 +249,8 @@ func (m *Multiscalar) tryFlush(unit int, now uint64) (bool, error) {
 	ts := m.tasks[unit]
 	all := true
 	var err error
-	ts.desc.Create.ForEach(func(r isa.Reg) {
+	for bm := ts.desc.Create; bm != 0; bm &= bm - 1 { // bit loop: see rebuildRegs
+		r := isa.Reg(bits.TrailingZeros64(uint64(bm)))
 		if rf.sent.Has(r) {
 			if m.cfg.CheckForwards && err == nil {
 				if sv := ts.sentVals[r]; sv.val != rf.vals[r] && !rf.pending.Has(r) {
@@ -250,14 +258,14 @@ func (m *Multiscalar) tryFlush(unit int, now uint64) (bool, error) {
 						ts.desc.Name, r, sv.val, rf.vals[r])
 				}
 			}
-			return
+			continue
 		}
 		if rf.pending.Has(r) {
 			all = false // predecessor value still in flight; retry
-			return
+			continue
 		}
 		m.forward(unit, now, r, rf.vals[r])
-	})
+	}
 	return all, err
 }
 

@@ -21,6 +21,10 @@ type Machine struct {
 	ICount uint64
 	// Class counts broken out for reporting.
 	LoadCount, StoreCount, BranchCount uint64
+
+	// uops is the predecoded form of Prog.Text (see uop.go). It is
+	// derived state: never serialized, rebuilt on demand.
+	uops []uop
 }
 
 // NewMachine loads a program image: data segment copied into memory,
@@ -28,11 +32,10 @@ type Machine struct {
 func NewMachine(p *isa.Program, env *SysEnv) *Machine {
 	m := &Machine{
 		Prog: p,
-		Mem:  mem.NewMemory(),
+		Mem:  mem.NewMemoryFromImage(ProgramImage(p)),
 		PC:   p.Entry,
 		Env:  env,
 	}
-	m.Mem.WriteBytes(isa.DataBase, p.Data)
 	m.Regs[isa.RegSP] = IntVal(isa.StackTop)
 	m.Regs[isa.RegGP] = IntVal(isa.DataBase)
 	return m
@@ -40,15 +43,28 @@ func NewMachine(p *isa.Program, env *SysEnv) *Machine {
 
 // Step executes one instruction. It returns an error on traps (bad PC,
 // unaligned access, division by zero, unknown syscall).
+//
+// Dispatch runs over the predecoded µop stream (uop.go): one dense
+// switch on the handler index, with the destination register already
+// resolved, instead of re-classifying the architectural instruction
+// each time.
 func (m *Machine) Step() error {
-	in := m.Prog.InstrAt(m.PC)
-	if in == nil {
+	if m.uops == nil {
+		m.uops = decodedUops(m.Prog)
+	}
+	if m.PC < isa.TextBase || m.PC&3 != 0 {
 		return fmt.Errorf("interp: PC 0x%x outside text", m.PC)
 	}
+	idx := (m.PC - isa.TextBase) / isa.InstrSize
+	if int(idx) >= len(m.uops) {
+		return fmt.Errorf("interp: PC 0x%x outside text", m.PC)
+	}
+	u := &m.uops[idx]
 	nextPC := m.PC + isa.InstrSize
 
-	switch {
-	case in.Op == isa.OpSyscall:
+	switch u.kind {
+	case uNop:
+	case uSyscall:
 		ret, writes, err := m.Env.Call(m.Mem,
 			m.Regs[isa.RegV0].I, m.Regs[isa.RegA0].I,
 			m.Regs[isa.RegA1].I, m.Regs[isa.RegA2].I, m.Regs[isa.RegA3].I)
@@ -58,50 +74,193 @@ func (m *Machine) Step() error {
 		if writes {
 			m.Regs[isa.RegV0] = IntVal(ret)
 		}
-	case in.Op.IsLoad():
-		addr := EffAddr(m.Regs[in.Rs], in.Imm)
-		size := in.Op.MemSize()
-		if addr%uint32(size) != 0 {
-			return fmt.Errorf("interp: unaligned %s of 0x%x at PC 0x%x", in.Op, addr, m.PC)
+
+	case uLw:
+		addr := m.Regs[u.rs].I + uint32(u.imm)
+		if addr&3 != 0 {
+			return fmt.Errorf("interp: unaligned %s of 0x%x at PC 0x%x", u.op, addr, m.PC)
 		}
-		raw := m.Mem.ReadN(addr, size)
-		m.setReg(in.Rd, LoadValue(in.Op, raw))
+		v := Value{I: uint32(m.Mem.ReadN(addr, 4))}
+		if u.rd != isa.RegZero {
+			m.Regs[u.rd] = v
+		}
 		m.LoadCount++
-	case in.Op.IsStore():
-		addr := EffAddr(m.Regs[in.Rs], in.Imm)
-		size := in.Op.MemSize()
-		if addr%uint32(size) != 0 {
-			return fmt.Errorf("interp: unaligned %s of 0x%x at PC 0x%x", in.Op, addr, m.PC)
+	case uLoad:
+		addr := m.Regs[u.rs].I + uint32(u.imm)
+		if addr%uint32(u.size) != 0 {
+			return fmt.Errorf("interp: unaligned %s of 0x%x at PC 0x%x", u.op, addr, m.PC)
 		}
-		m.Mem.WriteN(addr, size, StoreValue(in.Op, m.Regs[in.Rt]))
+		raw := m.Mem.ReadN(addr, int(u.size))
+		if u.rd != isa.RegZero {
+			m.Regs[u.rd] = LoadValue(u.op, raw)
+		}
+		m.LoadCount++
+	case uSw:
+		addr := m.Regs[u.rs].I + uint32(u.imm)
+		if addr&3 != 0 {
+			return fmt.Errorf("interp: unaligned %s of 0x%x at PC 0x%x", u.op, addr, m.PC)
+		}
+		m.Mem.WriteN(addr, 4, uint64(m.Regs[u.rt].I))
 		m.StoreCount++
-	case in.Op == isa.OpJ:
-		nextPC = in.Target
+	case uStore:
+		addr := m.Regs[u.rs].I + uint32(u.imm)
+		if addr%uint32(u.size) != 0 {
+			return fmt.Errorf("interp: unaligned %s of 0x%x at PC 0x%x", u.op, addr, m.PC)
+		}
+		m.Mem.WriteN(addr, int(u.size), StoreValue(u.op, m.Regs[u.rt]))
+		m.StoreCount++
+
+	case uJ:
+		nextPC = u.target
 		m.BranchCount++
-	case in.Op == isa.OpJal:
-		m.setReg(in.Rd, IntVal(m.PC+isa.InstrSize))
-		nextPC = in.Target
+	case uJal:
+		if u.rd != isa.RegZero {
+			m.Regs[u.rd] = IntVal(m.PC + isa.InstrSize)
+		}
+		nextPC = u.target
 		m.BranchCount++
-	case in.Op == isa.OpJr:
-		nextPC = m.Regs[in.Rs].I
+	case uJr:
+		nextPC = m.Regs[u.rs].I
 		m.BranchCount++
-	case in.Op == isa.OpJalr:
-		target := m.Regs[in.Rs].I
-		m.setReg(in.Rd, IntVal(m.PC+isa.InstrSize))
+	case uJalr:
+		target := m.Regs[u.rs].I
+		if u.rd != isa.RegZero {
+			m.Regs[u.rd] = IntVal(m.PC + isa.InstrSize)
+		}
 		nextPC = target
 		m.BranchCount++
-	default:
-		res, err := Exec(in.Op, m.Regs[in.Rs], m.Regs[in.Rt], in.Imm, m.FCC)
+
+	case uBeq:
+		if m.Regs[u.rs].I == m.Regs[u.rt].I {
+			nextPC = u.target
+		}
+		m.BranchCount++
+	case uBne:
+		if m.Regs[u.rs].I != m.Regs[u.rt].I {
+			nextPC = u.target
+		}
+		m.BranchCount++
+	case uBlez:
+		if int32(m.Regs[u.rs].I) <= 0 {
+			nextPC = u.target
+		}
+		m.BranchCount++
+	case uBgtz:
+		if int32(m.Regs[u.rs].I) > 0 {
+			nextPC = u.target
+		}
+		m.BranchCount++
+	case uBltz:
+		if int32(m.Regs[u.rs].I) < 0 {
+			nextPC = u.target
+		}
+		m.BranchCount++
+	case uBgez:
+		if int32(m.Regs[u.rs].I) >= 0 {
+			nextPC = u.target
+		}
+		m.BranchCount++
+
+	case uAdd:
+		m.Regs[u.rd] = Value{I: m.Regs[u.rs].I + m.Regs[u.rt].I}
+	case uAddi:
+		m.Regs[u.rd] = Value{I: m.Regs[u.rs].I + uint32(u.imm)}
+	case uSub:
+		m.Regs[u.rd] = Value{I: m.Regs[u.rs].I - m.Regs[u.rt].I}
+	case uMul:
+		m.Regs[u.rd] = Value{I: uint32(int32(m.Regs[u.rs].I) * int32(m.Regs[u.rt].I))}
+	case uAnd:
+		m.Regs[u.rd] = Value{I: m.Regs[u.rs].I & m.Regs[u.rt].I}
+	case uAndi:
+		m.Regs[u.rd] = Value{I: m.Regs[u.rs].I & uint32(u.imm)}
+	case uOr:
+		m.Regs[u.rd] = Value{I: m.Regs[u.rs].I | m.Regs[u.rt].I}
+	case uOri:
+		m.Regs[u.rd] = Value{I: m.Regs[u.rs].I | uint32(u.imm)}
+	case uXor:
+		m.Regs[u.rd] = Value{I: m.Regs[u.rs].I ^ m.Regs[u.rt].I}
+	case uXori:
+		m.Regs[u.rd] = Value{I: m.Regs[u.rs].I ^ uint32(u.imm)}
+	case uNor:
+		m.Regs[u.rd] = Value{I: ^(m.Regs[u.rs].I | m.Regs[u.rt].I)}
+	case uSll:
+		m.Regs[u.rd] = Value{I: m.Regs[u.rs].I << (uint32(u.imm) & 31)}
+	case uSrl:
+		m.Regs[u.rd] = Value{I: m.Regs[u.rs].I >> (uint32(u.imm) & 31)}
+	case uSra:
+		m.Regs[u.rd] = Value{I: uint32(int32(m.Regs[u.rs].I) >> (uint32(u.imm) & 31))}
+	case uSllv:
+		m.Regs[u.rd] = Value{I: m.Regs[u.rs].I << (m.Regs[u.rt].I & 31)}
+	case uSrlv:
+		m.Regs[u.rd] = Value{I: m.Regs[u.rs].I >> (m.Regs[u.rt].I & 31)}
+	case uSrav:
+		m.Regs[u.rd] = Value{I: uint32(int32(m.Regs[u.rs].I) >> (m.Regs[u.rt].I & 31))}
+	case uSlt:
+		var v uint32
+		if int32(m.Regs[u.rs].I) < int32(m.Regs[u.rt].I) {
+			v = 1
+		}
+		m.Regs[u.rd] = Value{I: v}
+	case uSltu:
+		var v uint32
+		if m.Regs[u.rs].I < m.Regs[u.rt].I {
+			v = 1
+		}
+		m.Regs[u.rd] = Value{I: v}
+	case uSlti:
+		var v uint32
+		if int32(m.Regs[u.rs].I) < u.imm {
+			v = 1
+		}
+		m.Regs[u.rd] = Value{I: v}
+	case uSltiu:
+		var v uint32
+		if m.Regs[u.rs].I < uint32(u.imm) {
+			v = 1
+		}
+		m.Regs[u.rd] = Value{I: v}
+	case uLui:
+		m.Regs[u.rd] = Value{I: uint32(u.imm) << 16}
+
+	case uAddD:
+		m.Regs[u.rd] = Value{F: m.Regs[u.rs].F + m.Regs[u.rt].F}
+	case uSubD:
+		m.Regs[u.rd] = Value{F: m.Regs[u.rs].F - m.Regs[u.rt].F}
+	case uMulD:
+		m.Regs[u.rd] = Value{F: m.Regs[u.rs].F * m.Regs[u.rt].F}
+	case uDivD:
+		m.Regs[u.rd] = Value{F: m.Regs[u.rs].F / m.Regs[u.rt].F}
+	case uMovD:
+		m.Regs[u.rd] = Value{F: m.Regs[u.rs].F}
+	case uCEqD:
+		m.FCC = m.Regs[u.rs].F == m.Regs[u.rt].F
+	case uCLtD:
+		m.FCC = m.Regs[u.rs].F < m.Regs[u.rt].F
+	case uCLeD:
+		m.FCC = m.Regs[u.rs].F <= m.Regs[u.rt].F
+	case uBc1t:
+		if m.FCC {
+			nextPC = u.target
+		}
+		m.BranchCount++
+	case uBc1f:
+		if !m.FCC {
+			nextPC = u.target
+		}
+		m.BranchCount++
+
+	default: // uExec
+		res, err := Exec(u.op, m.Regs[u.rs], m.Regs[u.rt], u.imm, m.FCC)
 		if err != nil {
 			return fmt.Errorf("%w at PC 0x%x", err, m.PC)
 		}
-		if in.Op.IsBranch() {
+		if u.op.IsBranch() {
 			if res.Taken {
-				nextPC = in.Target
+				nextPC = u.target
 			}
 			m.BranchCount++
-		} else if d := in.Dest(); d != isa.RegZero {
-			m.setReg(d, res.Val)
+		} else if u.rd != isa.RegZero {
+			m.Regs[u.rd] = res.Val
 		}
 		if res.SetFCC {
 			m.FCC = res.FCC
@@ -111,12 +270,6 @@ func (m *Machine) Step() error {
 	m.ICount++
 	m.PC = nextPC
 	return nil
-}
-
-func (m *Machine) setReg(r isa.Reg, v Value) {
-	if r != isa.RegZero {
-		m.Regs[r] = v
-	}
 }
 
 // Run executes until the program exits or maxInstrs instructions have

@@ -49,6 +49,10 @@ type SysEnv struct {
 	In io.Reader
 
 	heapEnd uint32
+
+	// inConsumed counts bytes successfully read from In, so a restored
+	// snapshot can reposition a fresh reader over the same input.
+	inConsumed uint64
 }
 
 // NewSysEnv returns an environment with an empty heap at isa.HeapBase.
@@ -82,6 +86,7 @@ func (e *SysEnv) Call(m MemReader, v0, a0, a1, a2, a3 uint32) (ret uint32, write
 		if e.In != nil {
 			var b [1]byte
 			if n, _ := io.ReadFull(e.In, b[:]); n == 1 {
+				e.inConsumed++
 				return uint32(b[0]), true, nil
 			}
 		}

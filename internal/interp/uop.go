@@ -1,0 +1,237 @@
+package interp
+
+import (
+	"sync"
+
+	"multiscalar/internal/isa"
+	"multiscalar/internal/mem"
+)
+
+// This file implements the decoded-µop cache: every instruction of a
+// program is predecoded once into a dispatch-ready µop — handler index,
+// resolved destination register, immediate and memory width — and Step
+// dispatches on the dense handler index instead of re-classifying the
+// architectural instruction on every execution. The decoded form of a
+// program is shared across machines through a package-level cache, so
+// the oracle runs the bench harness memoizes pay the decode cost once
+// per program image (see docs/perf.md).
+
+// uopKind is the µop handler index. The constants must stay dense: Step
+// switches on the kind and the compiler lowers the dense switch to a
+// jump table.
+type uopKind uint8
+
+const (
+	uNop uopKind = iota
+	uSyscall
+
+	// Memory. uLw is split out from the generic load/store handlers:
+	// word loads dominate the memory mix and skip the LoadValue switch.
+	uLw
+	uLoad
+	uSw
+	uStore
+
+	// Control.
+	uJ
+	uJal
+	uJr
+	uJalr
+	uBeq
+	uBne
+	uBlez
+	uBgtz
+	uBltz
+	uBgez
+
+	// Integer ALU, inlined so the hot path avoids the Exec switch and
+	// its by-value ExecResult.
+	uAdd
+	uAddi
+	uSub
+	uMul
+	uAnd
+	uAndi
+	uOr
+	uOri
+	uXor
+	uXori
+	uNor
+	uSll
+	uSrl
+	uSra
+	uSllv
+	uSrlv
+	uSrav
+	uSlt
+	uSltu
+	uSlti
+	uSltiu
+	uLui
+
+	// Double-precision FP arithmetic, compares and FCC branches,
+	// inlined for the numeric workloads.
+	uAddD
+	uSubD
+	uMulD
+	uDivD
+	uMovD
+	uCEqD
+	uCLtD
+	uCLeD
+	uBc1t
+	uBc1f
+
+	// Everything else (single-precision FP, conversions, div/rem with
+	// their trap checks) funnels through Exec, which remains the single
+	// home of those semantics.
+	uExec
+)
+
+// uop is one predecoded instruction. Operand registers are resolved at
+// decode time — rd is the register the instruction actually writes
+// (RegZero when it writes nothing), so handlers need no Dest() call and
+// no $zero guard beyond a single compare.
+type uop struct {
+	kind   uopKind
+	rd     isa.Reg
+	rs     isa.Reg
+	rt     isa.Reg
+	op     isa.Op
+	size   uint8  // memory access width in bytes
+	imm    int32  // immediate / shift amount / memory offset
+	target uint32 // branch or jump target byte address
+}
+
+// aluKinds maps the integer ALU opcodes with dedicated handlers. Ops
+// absent from the table (including OpDiv/OpRem, whose divide-by-zero
+// trap Exec owns) fall back to uExec.
+var aluKinds = map[isa.Op]uopKind{
+	isa.OpAdd: uAdd, isa.OpAddi: uAddi, isa.OpSub: uSub, isa.OpMul: uMul,
+	isa.OpAnd: uAnd, isa.OpAndi: uAndi, isa.OpOr: uOr, isa.OpOri: uOri,
+	isa.OpXor: uXor, isa.OpXori: uXori, isa.OpNor: uNor,
+	isa.OpSll: uSll, isa.OpSrl: uSrl, isa.OpSra: uSra,
+	isa.OpSllv: uSllv, isa.OpSrlv: uSrlv, isa.OpSrav: uSrav,
+	isa.OpSlt: uSlt, isa.OpSltu: uSltu, isa.OpSlti: uSlti, isa.OpSltiu: uSltiu,
+	isa.OpLui: uLui,
+}
+
+var branchKinds = map[isa.Op]uopKind{
+	isa.OpBeq: uBeq, isa.OpBne: uBne, isa.OpBlez: uBlez,
+	isa.OpBgtz: uBgtz, isa.OpBltz: uBltz, isa.OpBgez: uBgez,
+	isa.OpBc1t: uBc1t, isa.OpBc1f: uBc1f,
+}
+
+// fpKinds maps the double-precision ops with dedicated handlers. The
+// arithmetic entries need the same $zero-dest demotion as aluKinds; the
+// compares write only the condition flag and never demote.
+var fpKinds = map[isa.Op]uopKind{
+	isa.OpAddD: uAddD, isa.OpSubD: uSubD, isa.OpMulD: uMulD,
+	isa.OpDivD: uDivD, isa.OpMovD: uMovD,
+}
+
+var fccKinds = map[isa.Op]uopKind{
+	isa.OpCEqD: uCEqD, isa.OpCLtD: uCLtD, isa.OpCLeD: uCLeD,
+}
+
+// decodeInstr translates one architectural instruction into its µop.
+func decodeInstr(in *isa.Instr) uop {
+	u := uop{
+		rd:     in.Dest(),
+		rs:     in.Rs,
+		rt:     in.Rt,
+		op:     in.Op,
+		imm:    in.Imm,
+		target: in.Target,
+		size:   uint8(in.Op.MemSize()),
+	}
+	switch {
+	case in.Op == isa.OpSyscall:
+		u.kind = uSyscall
+	case in.Op.IsLoad():
+		if in.Op == isa.OpLw {
+			u.kind = uLw
+		} else {
+			u.kind = uLoad
+		}
+	case in.Op.IsStore():
+		if in.Op == isa.OpSw {
+			u.kind = uSw
+		} else {
+			u.kind = uStore
+		}
+	case in.Op == isa.OpJ:
+		u.kind = uJ
+	case in.Op == isa.OpJal:
+		u.kind = uJal
+	case in.Op == isa.OpJr:
+		u.kind = uJr
+	case in.Op == isa.OpJalr:
+		u.kind = uJalr
+	case in.Op == isa.OpNop || in.Op == isa.OpRelease:
+		// Release is a pure annotation to the functional engine.
+		u.kind = uNop
+	default:
+		if k, ok := branchKinds[in.Op]; ok {
+			u.kind = k
+		} else if k, ok := fccKinds[in.Op]; ok {
+			u.kind = k
+		} else if k, ok := aluKinds[in.Op]; ok {
+			// An ALU op writing $zero has no architectural effect
+			// beyond retiring, so it decodes to a µ-nop. (Div/rem are
+			// not in the table: their trap fires even with a $zero
+			// dest, so they take the Exec path.)
+			if u.rd != isa.RegZero {
+				u.kind = k
+			} else {
+				u.kind = uNop
+			}
+		} else if k, ok := fpKinds[in.Op]; ok {
+			if u.rd != isa.RegZero {
+				u.kind = k
+			} else {
+				u.kind = uNop
+			}
+		} else {
+			u.kind = uExec
+		}
+	}
+	return u
+}
+
+// uopCache shares decoded programs across machines, keyed by program
+// identity. Programs in this codebase are immutable once built (rewrites
+// clone the image first), so pointer identity is a sound key.
+var uopCache sync.Map // *isa.Program -> []uop
+
+// memImages caches the loaded data segment of each program as an
+// immutable copy-on-write image, so constructing a machine shares the
+// image instead of re-copying the segment (mem.NewMemoryFromImage).
+var memImages sync.Map // *isa.Program -> *mem.Image
+
+// ProgramImage returns the initial memory image for p — the data
+// segment at isa.DataBase — building and caching it on first use. The
+// timing simulators seed their backing stores from the same image.
+func ProgramImage(p *isa.Program) *mem.Image {
+	if v, ok := memImages.Load(p); ok {
+		return v.(*mem.Image)
+	}
+	m := mem.NewMemory()
+	m.WriteBytes(isa.DataBase, p.Data)
+	v, _ := memImages.LoadOrStore(p, m.Image())
+	return v.(*mem.Image)
+}
+
+// decodedUops returns the µop stream for p, decoding and caching it on
+// first use.
+func decodedUops(p *isa.Program) []uop {
+	if v, ok := uopCache.Load(p); ok {
+		return v.([]uop)
+	}
+	us := make([]uop, len(p.Text))
+	for i := range p.Text {
+		us[i] = decodeInstr(&p.Text[i])
+	}
+	v, _ := uopCache.LoadOrStore(p, us)
+	return v.([]uop)
+}

@@ -67,24 +67,41 @@ func (i *Instr) Dest() Reg {
 // $zero reads are included (they are always ready). Syscall sources
 // ($v0, $a0-$a3) are reported so dependence tracking treats them as reads.
 func (i *Instr) Sources() []Reg {
+	srcs, n := i.SourceRegs()
+	if n == 0 {
+		return nil
+	}
+	return srcs[:n:n]
+}
+
+// SourceRegs is the allocation-free form of Sources: the issue stage
+// calls it once per issue attempt, so the registers come back in a
+// by-value array instead of a heap slice.
+func (i *Instr) SourceRegs() (srcs [5]Reg, n int) {
 	switch i.Op {
 	case OpNop, OpJ, OpJal, OpLui:
-		return nil
+		return srcs, 0
 	case OpJr, OpJalr, OpRelease, OpBltz, OpBgez, OpBlez, OpBgtz:
-		return []Reg{i.Rs}
+		srcs[0] = i.Rs
+		return srcs, 1
 	case OpBc1t, OpBc1f:
-		return nil // read the FP condition flag, tracked separately
+		return srcs, 0 // read the FP condition flag, tracked separately
 	case OpBeq, OpBne:
-		return []Reg{i.Rs, i.Rt}
+		srcs[0], srcs[1] = i.Rs, i.Rt
+		return srcs, 2
 	case OpSb, OpSh, OpSw, OpSwc1, OpSdc1:
-		return []Reg{i.Rs, i.Rt} // address base + data
+		srcs[0], srcs[1] = i.Rs, i.Rt // address base + data
+		return srcs, 2
 	case OpSyscall:
-		return []Reg{RegV0, RegA0, RegA1, RegA2, RegA3}
+		srcs = [5]Reg{RegV0, RegA0, RegA1, RegA2, RegA3}
+		return srcs, 5
 	default:
 		if i.Op.HasImm() {
-			return []Reg{i.Rs}
+			srcs[0] = i.Rs
+			return srcs, 1
 		}
-		return []Reg{i.Rs, i.Rt}
+		srcs[0], srcs[1] = i.Rs, i.Rt
+		return srcs, 2
 	}
 }
 

@@ -1,6 +1,10 @@
 package mem
 
-import "multiscalar/internal/trace"
+import (
+	"math/bits"
+
+	"multiscalar/internal/trace"
+)
 
 // Cache is a direct-mapped, timing-only cache: data always lives in the
 // backing Memory (or, for speculative state, in the ARB); the cache tracks
@@ -36,6 +40,13 @@ type Cache struct {
 	// sees every Nth block must spread those blocks over all its sets.
 	stride uint32
 
+	// Shift/mask forms of the index arithmetic, valid when block size,
+	// set count and stride are all powers of two (the common geometry):
+	// index is on the per-access path and hardware division is slow.
+	pow2                             bool
+	blockShift, strideShift, setBits int
+	setMask                          uint32
+
 	mshrs []mshr // outstanding block fetches
 	nmshr int
 
@@ -51,7 +62,7 @@ type mshr struct {
 // NewCache builds a direct-mapped cache backed by bus for miss traffic.
 func NewCache(name string, sizeBytes, blockBytes, hitLatency, numMSHRs int, bus *Bus) *Cache {
 	sets := sizeBytes / blockBytes
-	return &Cache{
+	c := &Cache{
 		Name:       name,
 		SizeBytes:  sizeBytes,
 		BlockBytes: blockBytes,
@@ -63,6 +74,26 @@ func NewCache(name string, sizeBytes, blockBytes, hitLatency, numMSHRs int, bus 
 		nmshr:      numMSHRs,
 		stride:     1,
 	}
+	c.precompute()
+	return c
+}
+
+func log2OfPow2(n int) (int, bool) {
+	if n <= 0 || n&(n-1) != 0 {
+		return 0, false
+	}
+	return bits.TrailingZeros(uint(n)), true
+}
+
+func (c *Cache) precompute() {
+	b, okB := log2OfPow2(c.BlockBytes)
+	s, okS := log2OfPow2(c.sets)
+	t, okT := log2OfPow2(int(c.stride))
+	c.pow2 = okB && okS && okT
+	if c.pow2 {
+		c.blockShift, c.strideShift, c.setBits = b, t, s
+		c.setMask = uint32(c.sets - 1)
+	}
 }
 
 // SetStride declares that this cache only sees every strideth block
@@ -71,9 +102,14 @@ func (c *Cache) SetStride(stride int) {
 	if stride > 0 {
 		c.stride = uint32(stride)
 	}
+	c.precompute()
 }
 
 func (c *Cache) index(addr uint32) (set int, tag uint32) {
+	if c.pow2 {
+		block := addr >> c.blockShift >> c.strideShift
+		return int(block & c.setMask), block >> c.setBits
+	}
 	block := addr / uint32(c.BlockBytes) / c.stride
 	return int(block) % c.sets, block / uint32(c.sets)
 }

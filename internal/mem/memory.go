@@ -12,16 +12,32 @@ const pageSize = 1 << pageBits
 // Memory is a sparse, paged, big-endian, byte-addressable store over the
 // full 32-bit address space. The zero value is ready to use.
 //
+// A Memory may be seeded from an immutable Image (NewMemoryFromImage):
+// image pages are shared read-only between every Memory built from the
+// image and copied into private pages on first write, so constructing a
+// machine over a large data segment costs O(1) instead of one copy of
+// the segment. Sharing the image across concurrently running Memories
+// is safe — image pages are never written.
+//
 // Memory is not safe for concurrent use: even reads update the internal
 // last-page cache. Every simulation run owns its Memory, so this only
 // matters if one instance is shared across goroutines.
 type Memory struct {
 	pages map[uint32]*[pageSize]byte
+	ro    *Image // copy-on-write base image; nil when unseeded
 
 	// Last-page cache: simulated accesses are heavily page-local, so one
-	// comparison usually replaces the map lookup.
+	// comparison usually replaces the map lookup. lastRO marks a cached
+	// image page, which must be promoted before it can be written.
 	lastKey  uint32
 	lastPage *[pageSize]byte
+	lastRO   bool
+}
+
+// Image is an immutable page set used to seed Memories copy-on-write.
+// Build one with Memory.Image.
+type Image struct {
+	pages map[uint32]*[pageSize]byte
 }
 
 // NewMemory returns an empty memory.
@@ -29,26 +45,60 @@ func NewMemory() *Memory {
 	return &Memory{pages: make(map[uint32]*[pageSize]byte)}
 }
 
+// NewMemoryFromImage returns a memory whose initial contents are the
+// image. The image is shared, not copied; writes go to private pages.
+func NewMemoryFromImage(img *Image) *Memory {
+	return &Memory{pages: make(map[uint32]*[pageSize]byte), ro: img}
+}
+
+// Image deep-copies the memory's current contents into an immutable
+// image suitable for seeding further Memories.
+func (m *Memory) Image() *Image {
+	img := &Image{pages: make(map[uint32]*[pageSize]byte, len(m.pages))}
+	if m.ro != nil {
+		for key, p := range m.ro.pages {
+			img.pages[key] = p // immutable, safe to alias
+		}
+	}
+	for key, p := range m.pages {
+		q := new([pageSize]byte)
+		*q = *p
+		img.pages[key] = q
+	}
+	return img
+}
+
 func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
 	key := addr >> pageBits
-	if p := m.lastPage; p != nil && m.lastKey == key {
+	if p := m.lastPage; p != nil && m.lastKey == key && !(create && m.lastRO) {
 		return p
 	}
 	if m.pages == nil {
-		if !create {
+		if !create && m.ro == nil {
 			return nil
 		}
 		m.pages = make(map[uint32]*[pageSize]byte)
 	}
 	p := m.pages[key]
 	if p == nil {
+		var base *[pageSize]byte
+		if m.ro != nil {
+			base = m.ro.pages[key]
+		}
 		if !create {
-			return nil
+			if base == nil {
+				return nil
+			}
+			m.lastKey, m.lastPage, m.lastRO = key, base, true
+			return base
 		}
 		p = new([pageSize]byte)
+		if base != nil {
+			*p = *base // promote: copy the image page before writing
+		}
 		m.pages[key] = p
 	}
-	m.lastKey, m.lastPage = key, p
+	m.lastKey, m.lastPage, m.lastRO = key, p, false
 	return p
 }
 
@@ -169,22 +219,42 @@ func (m *Memory) Equal(o *Memory) bool {
 	return m.subsetOf(o) && o.subsetOf(m)
 }
 
+// peekPage returns the page holding addr's page key without creating or
+// promoting anything: the private page if one exists, else the image
+// page, else nil.
+func (m *Memory) peekPage(key uint32) *[pageSize]byte {
+	if p := m.pages[key]; p != nil {
+		return p
+	}
+	if m.ro != nil {
+		return m.ro.pages[key]
+	}
+	return nil
+}
+
 func (m *Memory) subsetOf(o *Memory) bool {
-	for key, p := range m.pages {
-		var q *[pageSize]byte
-		if o.pages != nil {
-			q = o.pages[key]
-		}
+	check := func(key uint32, p *[pageSize]byte) bool {
+		q := o.peekPage(key)
 		if q == nil {
 			for _, b := range p {
 				if b != 0 {
 					return false
 				}
 			}
-			continue
+			return true
 		}
-		if *p != *q {
+		return *p == *q
+	}
+	for key, p := range m.pages {
+		if !check(key, p) {
 			return false
+		}
+	}
+	if m.ro != nil {
+		for key, p := range m.ro.pages {
+			if m.pages[key] == nil && !check(key, p) {
+				return false
+			}
 		}
 	}
 	return true

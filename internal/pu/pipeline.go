@@ -130,7 +130,8 @@ func (u *Unit) tryIssue(now uint64, idx int, e *robEntry, fuUsed *[isa.NumFUClas
 	// Gather operands.
 	var rsV, rtV interp.Value
 	var fcc bool
-	for _, src := range in.Sources() {
+	srcs, nsrc := in.SourceRegs()
+	for _, src := range srcs[:nsrc] {
 		v, ready := u.operand(now, idx, src)
 		if !ready {
 			return false, nil
@@ -263,8 +264,8 @@ func (u *Unit) dispatch(now uint64) {
 	n := 0
 	for n < u.cfg.IssueWidth && len(u.fetchQ) > 0 && len(u.rob) < u.cfg.ROBSize {
 		f := u.fetchQ[0]
-		u.fetchQ = u.fetchQ[:copy(u.fetchQ, u.fetchQ[1:])]
-		u.rob = append(u.rob, robEntry{
+		u.fetchQ = u.fetchQ[1:] // head pop: the window slides, nothing moves
+		u.rob = qpush(u.robBuf, u.rob, robEntry{
 			addr:          f.addr,
 			instr:         f.instr,
 			state:         stDispatched,
@@ -343,7 +344,7 @@ func (u *Unit) fetch(now uint64) {
 			stop = true
 		}
 
-		u.fetchQ = append(u.fetchQ, f)
+		u.fetchQ = qpush(u.fetchQBuf, u.fetchQ, f)
 		u.progressed = true
 
 		if stop {

@@ -153,15 +153,25 @@ type Unit struct {
 
 	active bool
 
-	// Fetch state.
+	// Fetch state. fetchQ is a sliding window into fetchQBuf (queue.go):
+	// pops advance the window, qpush compacts only at the buffer's end.
 	pc           uint32
 	fetchStopped bool
 	fetchQ       []fetchedInstr
+	fetchQBuf    []fetchedInstr
 	fetchReady   uint64 // icache availability for the current group
 	fetchGroup   uint32 // group address being fetched (^0 = none)
 
-	// Window.
-	rob []robEntry
+	// Window. rob slides over robBuf the same way as the fetch queue.
+	rob    []robEntry
+	robBuf []robEntry
+	// fwdPending is true whenever the window may hold a completed entry
+	// that still wants an early forward (release or forward bit), so
+	// forwardEarly can skip its window scan on the common cycle where
+	// nothing is forwardable. Stale-true after a flush or squash only
+	// costs one wasted scan; it is never stale-false (complete is the
+	// only place entries become done, and it raises the flag).
+	fwdPending bool
 	// nextDone is a lower bound on the earliest doneAt of any issued
 	// entry (^0 when none), so complete can skip its ROB scan on cycles
 	// where nothing can finish. Entry removal (retire, flush, squash) may
@@ -227,14 +237,16 @@ func New(id int, cfg Config, prog *isa.Program, ext Ext) *Unit {
 		ext:  ext,
 		bp:   predict.NewBranchPredictor(cfg.BranchEntries),
 		prog: prog,
-		// Preallocated to their architectural capacities; the dequeue
-		// paths shift in place so these never reallocate.
-		fetchQ: make([]fetchedInstr, 0, cfg.FetchQSize),
-		rob:    make([]robEntry, 0, cfg.ROBSize),
+		// Backing buffers oversized so head pops amortize to O(1)
+		// (queue.go); the windows start at the front.
+		fetchQBuf: make([]fetchedInstr, queueSlack*cfg.FetchQSize),
+		robBuf:    make([]robEntry, queueSlack*cfg.ROBSize),
 
 		sink:    cfg.Sink,
 		taskSeq: -1,
 	}
+	u.fetchQ = u.fetchQBuf[:0]
+	u.rob = u.robBuf[:0]
 	if s, ok := ext.(SharedFUs); ok {
 		u.shared = s
 	}
@@ -264,10 +276,10 @@ func (u *Unit) Start(entry uint32, now uint64) {
 	u.active = true
 	u.pc = entry
 	u.fetchStopped = false
-	u.fetchQ = u.fetchQ[:0]
+	u.fetchQ = u.fetchQBuf[:0]
 	u.fetchGroup = ^uint32(0)
 	u.fetchReady = 0
-	u.rob = u.rob[:0]
+	u.rob = u.robBuf[:0]
 	u.nextDone = ^uint64(0)
 	u.done = false
 	u.exitPC = 0
@@ -299,8 +311,8 @@ func (u *Unit) emitActivity(now uint64, act Activity) {
 // Squash deactivates the unit, discarding all in-flight state.
 func (u *Unit) Squash() {
 	u.active = false
-	u.fetchQ = u.fetchQ[:0]
-	u.rob = u.rob[:0]
+	u.fetchQ = u.fetchQBuf[:0]
+	u.rob = u.robBuf[:0]
 	u.nextDone = ^uint64(0)
 	u.done = false
 }
@@ -420,6 +432,9 @@ func (u *Unit) complete(now uint64) {
 		}
 		e.state = stDone
 		u.progressed = true
+		if in := e.instr; in.Op == isa.OpRelease || (in.Fwd && in.Dest() != isa.RegZero) {
+			u.fwdPending = true
+		}
 		// Control resolution: flush younger work on a wrong path.
 		if e.instr.Op.IsControl() || e.stopResolvable() {
 			if e.actualNext != e.predictedNext {
@@ -445,11 +460,14 @@ func (e *robEntry) stopResolvable() bool { return e.instr.Stop != isa.StopNone }
 // resolved the same way the fetch predicted. Otherwise the forward
 // happens at local retire.
 func (u *Unit) forwardEarly(now uint64) {
+	if !u.fwdPending {
+		return
+	}
 	safe := true
 	for i := 0; i < len(u.rob); i++ {
 		e := &u.rob[i]
 		if !safe {
-			return
+			return // blocked entries may still be pending: keep the flag
 		}
 		if e.state == stDone && !e.fwded {
 			in := e.instr
@@ -475,6 +493,9 @@ func (u *Unit) forwardEarly(now uint64) {
 			safe = false
 		}
 	}
+	// The scan covered the whole window with every older redirect
+	// resolved, so everything forwardable has been sent.
+	u.fwdPending = false
 }
 
 // flushAfter discards all entries younger than index i and redirects
@@ -482,7 +503,7 @@ func (u *Unit) forwardEarly(now uint64) {
 // happens.
 func (u *Unit) flushAfter(i int, nextPC uint32, stopped bool) {
 	u.rob = u.rob[:i+1]
-	u.fetchQ = u.fetchQ[:0]
+	u.fetchQ = u.fetchQBuf[:0]
 	u.fetchGroup = ^uint32(0)
 	u.fetchStopped = stopped
 	if !stopped {
@@ -533,13 +554,13 @@ func (u *Unit) retire(now uint64) error {
 		stop := e.stopHit
 		exitPC := e.actualNext
 		byRet := in.Op == isa.OpJr
-		u.rob = u.rob[:copy(u.rob, u.rob[1:])] // shift in place: keeps the preallocated capacity
+		u.rob = u.rob[1:] // head pop: the window slides, nothing moves
 		if stop {
 			u.done = true
 			u.exitPC = exitPC
 			u.exitByRet = byRet
-			u.rob = u.rob[:0]
-			u.fetchQ = u.fetchQ[:0]
+			u.rob = u.robBuf[:0]
+			u.fetchQ = u.fetchQBuf[:0]
 			u.fetchStopped = true
 			if u.sink != nil {
 				u.sink.Emit(trace.Event{Cycle: now, Kind: trace.KTaskComplete,

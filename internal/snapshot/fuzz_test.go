@@ -1,0 +1,81 @@
+package snapshot_test
+
+import (
+	"testing"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/core"
+	"multiscalar/internal/interp"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/workloads"
+)
+
+// FuzzSnapshot feeds arbitrary bytes to Restore on all three machine
+// kinds. Any input may be rejected with an error; none may panic or
+// over-allocate (the decoder validates every count against the bytes
+// remaining before allocating).
+func FuzzSnapshot(f *testing.F) {
+	buildF := func(name string, mode asm.Mode) *isa.Program {
+		w := workloads.Get(name)
+		p, err := w.Build(mode, w.TestScale)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return p
+	}
+	sp := buildF("wc", asm.ModeScalar)
+	mp := buildF("wc", asm.ModeMultiscalar)
+	cfg := core.DefaultConfig(4, 1, false)
+
+	// Seed the corpus with genuine snapshots of each kind.
+	im := interp.NewMachine(sp, interp.NewSysEnv())
+	for i := 0; i < 100; i++ {
+		if err := im.Step(); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if snap, err := im.Save(); err == nil {
+		f.Add(snap)
+	}
+	{
+		s := core.NewScalar(sp, interp.NewSysEnv(), core.ScalarConfig(1, false))
+		var snap []byte
+		s.ScheduleCheckpoint(50, func() error {
+			snap, _ = s.Save()
+			return errInterrupted
+		})
+		s.Run() //nolint:errcheck
+		if snap != nil {
+			f.Add(snap)
+		}
+	}
+	{
+		m, err := core.NewMultiscalar(mp, interp.NewSysEnv(), cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var snap []byte
+		m.ScheduleCheckpoint(50, func() error {
+			snap, _ = m.Save()
+			return errInterrupted
+		})
+		m.Run() //nolint:errcheck
+		if snap != nil {
+			f.Add(snap)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im := interp.NewMachine(sp, interp.NewSysEnv())
+		im.Restore(data) //nolint:errcheck
+
+		s := core.NewScalar(sp, interp.NewSysEnv(), core.ScalarConfig(1, false))
+		s.Restore(data) //nolint:errcheck
+
+		m, err := core.NewMultiscalar(mp, interp.NewSysEnv(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Restore(data) //nolint:errcheck
+	})
+}

@@ -1,0 +1,416 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/core"
+	"multiscalar/internal/interp"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/snapshot"
+	"multiscalar/internal/trace"
+	"multiscalar/internal/workloads"
+)
+
+// errInterrupted is the sentinel a checkpoint callback returns to stop
+// the run at the checkpoint — the "process killed mid-simulation" half
+// of a round trip.
+var errInterrupted = errors.New("interrupted at checkpoint")
+
+func build(t *testing.T, name string, mode asm.Mode) *isa.Program {
+	t.Helper()
+	w := workloads.Get(name)
+	if w == nil {
+		t.Fatalf("unknown workload %s", name)
+	}
+	p, err := w.Build(mode, w.TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func runMulti(t *testing.T, p *isa.Program, cfg core.Config) *core.Result {
+	t.Helper()
+	m, err := core.NewMultiscalar(p, interp.NewSysEnv(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// interruptAndResume runs p under cfg, saves and aborts at cycle `at`,
+// then restores the snapshot into a fresh machine and finishes.
+func interruptAndResume(t *testing.T, p *isa.Program, cfg core.Config, at uint64) *core.Result {
+	t.Helper()
+	m1, err := core.NewMultiscalar(p, interp.NewSysEnv(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap []byte
+	m1.ScheduleCheckpoint(at, func() error {
+		if snap, err = m1.Save(); err != nil {
+			return err
+		}
+		return errInterrupted
+	})
+	if _, err := m1.Run(); !errors.Is(err, errInterrupted) {
+		t.Fatalf("interrupted run: err = %v, want %v", err, errInterrupted)
+	}
+
+	m2, err := core.NewMultiscalar(p, interp.NewSysEnv(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	res, err := m2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestMultiscalarRoundTrip saves at random mid-run cycles across unit
+// counts and checks the resumed run's Result — every cycle count, every
+// statistic — equals the uninterrupted run's.
+func TestMultiscalarRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, name := range []string{"wc", "compress", "tomcatv"} {
+		p := build(t, name, asm.ModeMultiscalar)
+		for _, units := range []int{2, 4, 8} {
+			cfg := core.DefaultConfig(units, 2, true)
+			full := runMulti(t, p, cfg)
+			if full.Cycles < 4 {
+				t.Fatalf("%s/%d: run too short (%d cycles) to checkpoint", name, units, full.Cycles)
+			}
+			for trial := 0; trial < 3; trial++ {
+				at := 1 + uint64(rng.Int63n(int64(full.Cycles-1)))
+				got := interruptAndResume(t, p, cfg, at)
+				if !reflect.DeepEqual(got, full) {
+					t.Errorf("%s units=%d checkpoint@%d: resumed result differs\ngot  %+v\nwant %+v",
+						name, units, at, got, full)
+				}
+			}
+		}
+	}
+}
+
+// TestScalarRoundTrip does the same for the baseline machine.
+func TestScalarRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	p := build(t, "wc", asm.ModeScalar)
+	cfg := core.ScalarConfig(2, true)
+	sFull := core.NewScalar(p, interp.NewSysEnv(), cfg)
+	full, err := sFull.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 4; trial++ {
+		at := 1 + uint64(rng.Int63n(int64(full.Cycles-1)))
+		s1 := core.NewScalar(p, interp.NewSysEnv(), cfg)
+		var snap []byte
+		s1.ScheduleCheckpoint(at, func() error {
+			var err error
+			if snap, err = s1.Save(); err != nil {
+				return err
+			}
+			return errInterrupted
+		})
+		if _, err := s1.Run(); !errors.Is(err, errInterrupted) {
+			t.Fatalf("interrupted run: err = %v", err)
+		}
+		s2 := core.NewScalar(p, interp.NewSysEnv(), cfg)
+		if err := s2.Restore(snap); err != nil {
+			t.Fatalf("Restore: %v", err)
+		}
+		got, err := s2.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, full) {
+			t.Errorf("scalar checkpoint@%d: resumed result differs\ngot  %+v\nwant %+v", at, got, full)
+		}
+	}
+}
+
+// TestTraceRoundTrip checks the .mstrc stream: an interrupted run whose
+// restored half keeps writing to the same trace writer must produce a
+// byte-identical stream to the uninterrupted run.
+func TestTraceRoundTrip(t *testing.T) {
+	p := build(t, "wc", asm.ModeMultiscalar)
+	cfg := core.DefaultConfig(4, 1, false)
+	meta := trace.Meta{NumUnits: cfg.NumUnits, Label: "roundtrip"}
+
+	record := func(run func(sink trace.Sink) error) []byte {
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run(w); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	full := record(func(sink trace.Sink) error {
+		c := cfg
+		c.Sink = sink
+		m, err := core.NewMultiscalar(p, interp.NewSysEnv(), c)
+		if err != nil {
+			return err
+		}
+		_, err = m.Run()
+		return err
+	})
+
+	rng := rand.New(rand.NewSource(47))
+	baseline := runMulti(t, p, cfg)
+	for trial := 0; trial < 3; trial++ {
+		at := 1 + uint64(rng.Int63n(int64(baseline.Cycles-1)))
+		spliced := record(func(sink trace.Sink) error {
+			c := cfg
+			c.Sink = sink
+			m1, err := core.NewMultiscalar(p, interp.NewSysEnv(), c)
+			if err != nil {
+				return err
+			}
+			var snap []byte
+			m1.ScheduleCheckpoint(at, func() error {
+				var err error
+				if snap, err = m1.Save(); err != nil {
+					return err
+				}
+				return errInterrupted
+			})
+			if _, err := m1.Run(); !errors.Is(err, errInterrupted) {
+				t.Fatalf("interrupted run: err = %v", err)
+			}
+			m2, err := core.NewMultiscalar(p, interp.NewSysEnv(), c)
+			if err != nil {
+				return err
+			}
+			if err := m2.Restore(snap); err != nil {
+				return err
+			}
+			_, err = m2.Run()
+			return err
+		})
+		if !bytes.Equal(full, spliced) {
+			t.Errorf("checkpoint@%d: spliced trace differs from uninterrupted trace (%d vs %d bytes)",
+				at, len(spliced), len(full))
+		}
+	}
+}
+
+// TestInterpRoundTrip checkpoints the functional machine mid-run.
+func TestInterpRoundTrip(t *testing.T) {
+	p := build(t, "compress", asm.ModeScalar)
+	full := interp.NewMachine(p, interp.NewSysEnv())
+	if err := full.Run(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 4; trial++ {
+		stop := 1 + uint64(rng.Int63n(int64(full.ICount-1)))
+		m1 := interp.NewMachine(p, interp.NewSysEnv())
+		for m1.ICount < stop {
+			if err := m1.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap, err := m1.Save()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2 := interp.NewMachine(p, interp.NewSysEnv())
+		if err := m2.Restore(snap); err != nil {
+			t.Fatalf("Restore: %v", err)
+		}
+		if err := m2.Run(1 << 30); err != nil {
+			t.Fatal(err)
+		}
+		if m2.ICount != full.ICount || m2.Env.Out.String() != full.Env.Out.String() ||
+			m2.Env.ExitCode != full.Env.ExitCode || m2.LoadCount != full.LoadCount ||
+			m2.StoreCount != full.StoreCount || m2.BranchCount != full.BranchCount {
+			t.Errorf("restored run diverged at stop=%d: icount %d vs %d", stop, m2.ICount, full.ICount)
+		}
+		if !m2.Mem.Equal(full.Mem) {
+			t.Errorf("restored memory differs at stop=%d", stop)
+		}
+	}
+}
+
+// TestInterpStdinRoundTrip checks that a snapshot taken between reads
+// of the input stream repositions a fresh reader correctly.
+func TestInterpStdinRoundTrip(t *testing.T) {
+	src := `
+main:
+	li   $t0, 6
+loop:
+	li   $v0, 12
+	syscall
+	addi $a0, $v0, 0
+	li   $v0, 11
+	syscall
+	addi $t0, $t0, -1
+	bnez $t0, loop
+	li   $v0, 10
+	li   $a0, 0
+	syscall
+`
+	res, err := asm.AssembleOpts(src, asm.Options{Mode: asm.ModeScalar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Prog
+	const input = "abcdef"
+
+	run := func(m *interp.Machine) string {
+		t.Helper()
+		if err := m.Run(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+		return m.Env.Out.String()
+	}
+	envFull := interp.NewSysEnv()
+	envFull.In = strings.NewReader(input)
+	want := run(interp.NewMachine(p, envFull))
+	if want != input {
+		t.Fatalf("full run echoed %q, want %q", want, input)
+	}
+
+	// Stop after three reads, snapshot, restore with a fresh reader.
+	env1 := interp.NewSysEnv()
+	env1.In = strings.NewReader(input)
+	m1 := interp.NewMachine(p, env1)
+	for len(env1.Out.String()) < 3 {
+		if err := m1.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := m1.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2 := interp.NewSysEnv()
+	env2.In = strings.NewReader(input) // fresh reader over the same bytes
+	m2 := interp.NewMachine(p, env2)
+	if err := m2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := run(m2); got != want {
+		t.Errorf("restored run echoed %q, want %q", got, want)
+	}
+}
+
+// TestRestoreErrors feeds truncated and corrupted snapshots to Restore:
+// every case must return an error (or restore cleanly for benign stat
+// flips) without panicking.
+func TestRestoreErrors(t *testing.T) {
+	p := build(t, "wc", asm.ModeMultiscalar)
+	cfg := core.DefaultConfig(4, 1, false)
+	m, err := core.NewMultiscalar(p, interp.NewSysEnv(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap []byte
+	m.ScheduleCheckpoint(100, func() error {
+		var err error
+		if snap, err = m.Save(); err != nil {
+			return err
+		}
+		return errInterrupted
+	})
+	if _, err := m.Run(); !errors.Is(err, errInterrupted) {
+		t.Fatal(err)
+	}
+
+	fresh := func() *core.Multiscalar {
+		m, err := core.NewMultiscalar(p, interp.NewSysEnv(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	// Truncations at every length up to the header and a sample beyond.
+	for n := 0; n < len(snap); n += 1 + n/3 {
+		if err := fresh().Restore(snap[:n]); err == nil {
+			t.Errorf("Restore(snap[:%d]) = nil error", n)
+		}
+	}
+	// Wrong kind: an interp snapshot into a multiscalar machine.
+	im := interp.NewMachine(build(t, "wc", asm.ModeScalar), interp.NewSysEnv())
+	isnap, err := im.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh().Restore(isnap); err == nil {
+		t.Error("Restore(interp snapshot) = nil error")
+	}
+	// Bad magic.
+	bad := append([]byte{}, snap...)
+	bad[0] ^= 0xff
+	if err := fresh().Restore(bad); err == nil {
+		t.Error("Restore(bad magic) = nil error")
+	}
+	// Random single-byte corruptions must never panic (they may decode
+	// to an error or to a valid-but-different state).
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 64; trial++ {
+		bad := append([]byte{}, snap...)
+		bad[rng.Intn(len(bad))] ^= byte(1 + rng.Intn(255))
+		fresh().Restore(bad) //nolint:errcheck
+	}
+	// A snapshot for a different geometry must be rejected.
+	other, err := core.NewMultiscalar(p, interp.NewSysEnv(), core.DefaultConfig(8, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var osnap []byte
+	other.ScheduleCheckpoint(100, func() error {
+		var err error
+		if osnap, err = other.Save(); err != nil {
+			return err
+		}
+		return errInterrupted
+	})
+	if _, err := other.Run(); !errors.Is(err, errInterrupted) {
+		t.Fatal(err)
+	}
+	if err := fresh().Restore(osnap); err == nil {
+		t.Error("Restore(8-unit snapshot into 4-unit machine) = nil error")
+	}
+}
+
+// TestPeek checks kind dispatch on opaque snapshots.
+func TestPeek(t *testing.T) {
+	im := interp.NewMachine(build(t, "wc", asm.ModeScalar), interp.NewSysEnv())
+	snap, err := im.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, err := snapshot.Peek(snap)
+	if err != nil || kind != snapshot.KindInterp {
+		t.Errorf("Peek = %d, %v; want %d, nil", kind, err, snapshot.KindInterp)
+	}
+	if _, err := snapshot.Peek([]byte("short")); err == nil {
+		t.Error("Peek(short) = nil error")
+	}
+}

@@ -19,7 +19,8 @@
 //     stack, register forwarding ring, Address Resolution Buffer, banked
 //     data caches, shared memory bus. RunOption values attach an event
 //     trace (WithTrace), program input (WithStdin), bounds (WithMaxCycles,
-//     WithMaxInstrs) or oracle verification (WithVerify).
+//     WithMaxInstrs), oracle verification (WithVerify) or checkpoint and
+//     resume (WithCheckpoint, RestoreFrom).
 //   - Workload/Workloads expose the paper's benchmark suite (Section 5.2
 //     rewritten for this ISA).
 //
@@ -191,6 +192,9 @@ type runOptions struct {
 	maxCycles uint64
 	maxInstrs uint64
 	verify    bool
+	chkCycle  uint64
+	chkSave   func([]byte) error
+	restore   []byte
 }
 
 // RunOption configures Run or Interpret.
@@ -230,6 +234,30 @@ func WithMaxInstrs(n uint64) RunOption {
 // commits exactly the oracle's dynamic instruction count.
 func WithVerify() RunOption {
 	return func(o *runOptions) { o.verify = true }
+}
+
+// WithCheckpoint schedules a one-time snapshot of the timing run: at
+// the first executed cycle at or after cycle, the machine serializes
+// its complete state (docs/simulator.md, "Snapshot format") and passes
+// the bytes to save. A nil return continues the run to completion; a
+// non-nil error aborts Run with that error — the way to stop a run at
+// the checkpoint. A later Run over the same Program and Config with
+// RestoreFrom resumes exactly where the snapshot was taken. Interpret
+// ignores this option.
+func WithCheckpoint(cycle uint64, save func(snapshot []byte) error) RunOption {
+	return func(o *runOptions) { o.chkCycle, o.chkSave = cycle, save }
+}
+
+// RestoreFrom makes Run resume from a snapshot instead of starting at
+// the program entry. The machine is built from the same Program and
+// Config that produced the snapshot (geometry mismatches are rejected),
+// its state is restored, and the run finishes from there; results,
+// statistics and trace events come out identical to the uninterrupted
+// run. Input supplied with WithStdin must be a fresh reader over the
+// same bytes — the restored run skips what the saved run had consumed.
+// Interpret ignores this option.
+func RestoreFrom(snapshot []byte) RunOption {
+	return func(o *runOptions) { o.restore = snapshot }
 }
 
 // Interpret runs a program on the functional simulator (the oracle all
@@ -320,10 +348,39 @@ func Run(p *Program, cfg Config, opts ...RunOption) (*Result, error) {
 	var res *Result
 	var err error
 	if cfg.NumUnits <= 1 && len(p.Tasks) == 0 {
-		res, err = core.NewScalar(p, env, cfg).Run()
+		s := core.NewScalar(p, env, cfg)
+		if o.chkSave != nil {
+			s.ScheduleCheckpoint(o.chkCycle, func() error {
+				snap, err := s.Save()
+				if err != nil {
+					return err
+				}
+				return o.chkSave(snap)
+			})
+		}
+		if o.restore != nil {
+			if err := s.Restore(o.restore); err != nil {
+				return nil, err
+			}
+		}
+		res, err = s.Run()
 	} else {
 		var m *core.Multiscalar
 		if m, err = core.NewMultiscalar(p, env, cfg); err == nil {
+			if o.chkSave != nil {
+				m.ScheduleCheckpoint(o.chkCycle, func() error {
+					snap, err := m.Save()
+					if err != nil {
+						return err
+					}
+					return o.chkSave(snap)
+				})
+			}
+			if o.restore != nil {
+				if err := m.Restore(o.restore); err != nil {
+					return nil, err
+				}
+			}
 			res, err = m.Run()
 		}
 	}
