@@ -58,7 +58,7 @@ func main() {
 		jsonOut    = flag.String("json", "", "write a machine-readable timing/throughput report to this file (- for stdout)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		noskip     = flag.Bool("noskip", false, "disable the simulator's wakeup scheduler (dense per-cycle ticking; tables are byte-identical either way)")
-		sections   = flag.String("sections", "", "comma-separated sections to run (table1,table2,table3,table4,breakdown,ablate,sweep,mix,annotate)")
+		sections   = flag.String("sections", "", "comma-separated sections to run ("+strings.Join(bench.SectionNames(), ",")+")")
 		baseline   = flag.String("baseline", "", "compare the -json report's section times against this checked-in BENCH_*.json and exit 1 on regression")
 		tolerance  = flag.Float64("tolerance", 0.25, "allowed fractional slowdown per section for -baseline (0.25 = +25%)")
 	)
@@ -78,25 +78,13 @@ func main() {
 	}
 
 	// -sections picks an arbitrary subset by name, so a regression hunt on
-	// one table doesn't pay for the full -all run.
-	sel := make(map[string]bool)
-	if *sections != "" {
-		known := map[string]bool{
-			"table1": true, "table2": true, "table3": true, "table4": true,
-			"breakdown": true, "ablate": true, "sweep": true, "mix": true,
-			"annotate": true,
-		}
-		for _, name := range strings.Split(*sections, ",") {
-			name = strings.TrimSpace(name)
-			if name == "" {
-				continue
-			}
-			if !known[name] {
-				fmt.Fprintf(os.Stderr, "msbench: unknown section %q (valid: table1,table2,table3,table4,breakdown,ablate,sweep,mix,annotate)\n", name)
-				os.Exit(2)
-			}
-			sel[name] = true
-		}
+	// one table doesn't pay for the full -all run. The name registry lives
+	// in the bench package so this list, the flag help, and the error
+	// message can't drift apart.
+	sel, err := bench.ParseSections(*sections)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msbench: %v\n", err)
+		os.Exit(2)
 	}
 	want := func(name string) bool { return sel[name] }
 

@@ -2,7 +2,6 @@ package bench
 
 import (
 	"bytes"
-	"crypto/sha256"
 	"fmt"
 	"runtime"
 	"sync"
@@ -12,6 +11,7 @@ import (
 	"multiscalar/internal/core"
 	"multiscalar/internal/interp"
 	"multiscalar/internal/isa"
+	"multiscalar/internal/job"
 	"multiscalar/internal/workloads"
 )
 
@@ -37,9 +37,14 @@ func SetWorkers(n int) {
 // Workers returns the current job-pool bound.
 func Workers() int { return int(workers.Load()) }
 
-// runJobs runs fn(0..n-1), fanning out across the worker pool. Each fn
-// writes its result into its own slot of a caller-owned slice; runJobs
-// returns the lowest-index error so failures are deterministic too.
+// RunJobs runs fn(0..n-1), fanning out across the worker pool. Each fn
+// writes its result into its own slot of a caller-owned slice; RunJobs
+// returns the lowest-index error so failures are deterministic. It is
+// exported for the serve engine, whose batch submissions fan out over
+// this same pool.
+func RunJobs(n int, fn func(i int) error) error { return runJobs(n, fn) }
+
+// runJobs is RunJobs; the harness's own sections call it directly.
 func runJobs(n int, fn func(i int) error) error {
 	w := Workers()
 	if w > n {
@@ -101,21 +106,13 @@ func inputFor(name string) []byte {
 	return nil
 }
 
-// hashOf returns a compact digest usable as a map-key component ("" for
-// no input, distinct from the hash of empty-but-present input).
-func hashOf(b []byte) string {
-	if b == nil {
-		return ""
-	}
-	s := sha256.Sum256(b)
-	return string(s[:])
-}
-
-type buildKey struct {
-	name  string
-	mode  asm.Mode
-	scale int
-	stdin string // hashOf the registered input
+// buildSpec is the job.Spec a memoized build/oracle execution is keyed
+// by: the assemble-shaped spec of one workload at one (mode, resolved
+// scale), plus the registered input. The Spec's canonical encoding
+// preserves the old buildKey contract — nil input is distinct from
+// empty-but-present input.
+func buildSpec(w *workloads.Workload, mode asm.Mode, scale Scale, input []byte) *job.Spec {
+	return &job.Spec{Op: job.OpAssemble, Workload: w.Name, Mode: mode, Scale: scale.of(w), Stdin: input}
 }
 
 type buildEntry struct {
@@ -127,7 +124,7 @@ type buildEntry struct {
 
 var (
 	memoMu sync.Mutex
-	memo   = map[buildKey]*buildEntry{}
+	memo   = map[string]*buildEntry{}
 
 	// buildsPerformed counts actual assemble+oracle executions (not memo
 	// hits) — observability for tests and the JSON report.
@@ -135,14 +132,18 @@ var (
 )
 
 // buildOracle assembles workload w in the given mode and runs the
-// functional oracle over it, memoized per (workload, mode, resolved
-// scale) for the life of the process. Concurrent first requests
-// single-flight: exactly one goroutine builds, the rest wait and share
-// the result. The returned Program is shared and must not be mutated —
-// clone (cloneProgram) before transforming it.
+// functional oracle over it, memoized per job.Spec key — hash(workload,
+// mode, resolved scale, stdin) — for the life of the process. Concurrent
+// first requests single-flight: exactly one goroutine builds, the rest
+// wait and share the result. The returned Program is shared and must not
+// be mutated — clone (cloneProgram) before transforming it.
 func buildOracle(w *workloads.Workload, mode asm.Mode, scale Scale) (*isa.Program, Oracle, error) {
 	input := inputFor(w.Name)
-	key := buildKey{name: w.Name, mode: mode, scale: scale.of(w), stdin: hashOf(input)}
+	spec := buildSpec(w, mode, scale, input)
+	key, err := spec.Key()
+	if err != nil {
+		return nil, Oracle{}, err
+	}
 	memoMu.Lock()
 	e := memo[key]
 	if e == nil {
@@ -152,7 +153,7 @@ func buildOracle(w *workloads.Workload, mode asm.Mode, scale Scale) (*isa.Progra
 	memoMu.Unlock()
 	e.once.Do(func() {
 		buildsPerformed.Add(1)
-		e.prog, e.oracle, e.err = buildAndRun(w, mode, key.scale, input)
+		e.prog, e.oracle, e.err = buildAndRun(w, mode, spec.Scale, input)
 	})
 	return e.prog, e.oracle, e.err
 }
@@ -183,10 +184,10 @@ func buildAndRun(w *workloads.Workload, mode asm.Mode, scale int, input []byte) 
 // long-lived hosts).
 func ResetMemo() {
 	memoMu.Lock()
-	memo = map[buildKey]*buildEntry{}
+	memo = map[string]*buildEntry{}
 	memoMu.Unlock()
 	simMu.Lock()
-	simMemo = map[simKey]*simEntry{}
+	simMemo = map[string]*simEntry{}
 	simMu.Unlock()
 }
 
@@ -206,11 +207,12 @@ func ResetMemo() {
 // full runs (pinned by TestRunSharingMatchesIsolated, the same
 // discipline as TestSkipMatchesDense).
 
-type simKey struct {
-	prog  string // program content hash (text, data, descriptors)
-	cfg   string // canonical configuration encoding
-	stdin string // hashOf the program input
-}
+// The shared-run memo is keyed by the content-addressed job.Spec key of
+// the simulate job — hash(program, canonical config, stdin) — the same
+// identity the serve engine's result cache and the facade's SubmitJob
+// use. Config's runtime-only trace fields never participate (the
+// canonical encoding excludes them; the harness runs untraced, and a
+// traced run must not share state anyway).
 
 type simEntry struct {
 	once sync.Once
@@ -220,7 +222,7 @@ type simEntry struct {
 
 var (
 	simMu   sync.Mutex
-	simMemo = map[simKey]*simEntry{}
+	simMemo = map[string]*simEntry{}
 
 	// runsRestored counts simulation points answered by restoring a
 	// shared snapshot instead of re-simulating (JSON report, tests).
@@ -230,34 +232,6 @@ var (
 // RunsRestored reports how many simulation points were answered from a
 // shared finished-run snapshot rather than simulated again.
 func RunsRestored() uint64 { return runsRestored.Load() }
-
-// progHashes memoizes content hashes by program pointer: the memoized
-// build of a workload is shared across dozens of jobs, while transformed
-// clones (the forwarding ablation) hash to their own identity.
-var progHashes sync.Map // *isa.Program -> string
-
-func progHash(p *isa.Program) (string, error) {
-	if v, ok := progHashes.Load(p); ok {
-		return v.(string), nil
-	}
-	h := sha256.New()
-	if err := isa.WriteProgram(h, p); err != nil {
-		return "", err
-	}
-	s := string(h.Sum(nil))
-	progHashes.Store(p, s)
-	return s, nil
-}
-
-// cfgString canonicalizes a configuration for the run-memo key. The
-// trace fields never participate (the harness runs untraced; a traced
-// run must not share state anyway, so callers attach sinks only outside
-// this path).
-func cfgString(cfg core.Config) string {
-	cfg.Sink = nil
-	cfg.Trace = nil
-	return fmt.Sprintf("%#v", cfg)
-}
 
 // newMachine mirrors the facade's dispatch: a binary without task
 // descriptors on a one-unit configuration runs on the scalar baseline,
@@ -284,11 +258,11 @@ func newMachine(p *isa.Program, cfg core.Config, input []byte) (machine, error) 
 // described above. what labels errors.
 func runShared(p *isa.Program, o Oracle, cfg core.Config, input []byte, what string) (*core.Result, error) {
 	applyRunFlags(&cfg)
-	ph, err := progHash(p)
+	spec := job.Spec{Op: job.OpSimulate, Program: p, Config: cfg, Stdin: input}
+	key, err := spec.Key()
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", what, err)
 	}
-	key := simKey{prog: ph, cfg: cfgString(cfg), stdin: hashOf(input)}
 	simMu.Lock()
 	e := simMemo[key]
 	if e == nil {

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// sectionNames is the single registry of named msbench sections, in
+// display order. The -sections flag help, its error message, and the
+// selection logic all derive from this list, so adding a section here is
+// the only edit needed to make it addressable.
+var sectionNames = []string{
+	"table1", "table2", "table3", "table4",
+	"breakdown", "ablate", "sweep", "mix", "annotate",
+}
+
+// SectionNames returns the valid -sections names in display order.
+func SectionNames() []string {
+	out := make([]string, len(sectionNames))
+	copy(out, sectionNames)
+	return out
+}
+
+// ParseSections parses a comma-separated -sections value into a
+// selection set. Unknown names are an error that lists every valid name
+// (and suggests the closest one for likely typos) instead of silently
+// selecting nothing. An empty value yields an empty, non-nil set.
+func ParseSections(s string) (map[string]bool, error) {
+	known := make(map[string]bool, len(sectionNames))
+	for _, n := range sectionNames {
+		known[n] = true
+	}
+	sel := make(map[string]bool)
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			msg := fmt.Sprintf("unknown section %q (valid: %s)", name, strings.Join(sectionNames, ","))
+			if hint := closestSection(name); hint != "" {
+				msg += fmt.Sprintf("; did you mean %q?", hint)
+			}
+			return nil, fmt.Errorf("%s", msg)
+		}
+		sel[name] = true
+	}
+	return sel, nil
+}
+
+// closestSection returns the registered name with the smallest edit
+// distance from s, or "" when nothing is close enough to be a plausible
+// typo.
+func closestSection(s string) string {
+	s = strings.ToLower(s)
+	best, bestDist := "", 3 // distance >= 3 is not a typo, it's a different word
+	names := SectionNames()
+	sort.Strings(names) // deterministic tie-break independent of display order
+	for _, n := range names {
+		if d := editDistance(s, n); d < bestDist {
+			best, bestDist = n, d
+		}
+	}
+	return best
+}
+
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

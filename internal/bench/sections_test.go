@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSectionsValid(t *testing.T) {
+	sel, err := ParseSections("table2, sweep ,,annotate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 3 || !sel["table2"] || !sel["sweep"] || !sel["annotate"] {
+		t.Fatalf("selection %v", sel)
+	}
+	if sel, err := ParseSections(""); err != nil || len(sel) != 0 {
+		t.Fatalf("empty value: sel=%v err=%v", sel, err)
+	}
+}
+
+// TestParseSectionsUnknownListsValidNames pins the fix: an unknown name
+// errors and the error enumerates every valid section, rather than
+// silently selecting nothing.
+func TestParseSectionsUnknownListsValidNames(t *testing.T) {
+	_, err := ParseSections("table2,bogus")
+	if err == nil {
+		t.Fatal("unknown section accepted")
+	}
+	for _, name := range SectionNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list valid section %q", err, name)
+		}
+	}
+	if !strings.Contains(err.Error(), `"bogus"`) {
+		t.Fatalf("error %q does not name the offending section", err)
+	}
+}
+
+func TestParseSectionsSuggestsClosest(t *testing.T) {
+	_, err := ParseSections("tabel2")
+	if err == nil || !strings.Contains(err.Error(), `did you mean "table2"?`) {
+		t.Fatalf("typo suggestion missing: %v", err)
+	}
+	// A name nothing like any section gets no speculative suggestion.
+	_, err = ParseSections("zzzzzzzz")
+	if err == nil || strings.Contains(err.Error(), "did you mean") {
+		t.Fatalf("implausible suggestion: %v", err)
+	}
+}

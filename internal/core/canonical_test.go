@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"multiscalar/internal/arb"
+	"multiscalar/internal/trace"
+)
+
+type nopSink struct{}
+
+func (nopSink) Emit(trace.Event) {}
+
+func sampleConfigs() []Config {
+	cfgs := []Config{
+		DefaultConfig(8, 1, false),
+		DefaultConfig(8, 2, true),
+		DefaultConfig(4, 1, false),
+		DefaultConfig(1, 1, false),
+		ScalarConfig(1, false),
+		ScalarConfig(2, true),
+	}
+	c := DefaultConfig(8, 1, false)
+	c.ARBPolicy = arb.PolicySquash
+	c.ARBEntries = 2
+	cfgs = append(cfgs, c)
+	c = DefaultConfig(8, 1, false)
+	c.NoSkip = true
+	cfgs = append(cfgs, c)
+	c = DefaultConfig(8, 1, false)
+	c.StaticPredict = true
+	c.SharedFPUnits = 1
+	c.RingLatency = 4
+	c.Latencies.IntMul = 24
+	cfgs = append(cfgs, c)
+	return cfgs
+}
+
+func TestMarshalCanonicalRoundTrip(t *testing.T) {
+	for i, c := range sampleConfigs() {
+		enc, err := c.MarshalCanonical()
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		enc2, err := c.MarshalCanonical()
+		if err != nil || !bytes.Equal(enc, enc2) {
+			t.Fatalf("config %d: canonical encoding not deterministic", i)
+		}
+		got, err := UnmarshalCanonicalConfig(enc)
+		if err != nil {
+			t.Fatalf("config %d: decode: %v", i, err)
+		}
+		if got != c {
+			t.Fatalf("config %d: round trip mismatch:\n got %#v\nwant %#v", i, got, c)
+		}
+	}
+}
+
+// TestCanonicalExcludesObservers pins that the runtime-only attachments
+// never reach the encoding: a configuration with a trace writer and an
+// event sink keys identically to the bare machine description.
+func TestCanonicalExcludesObservers(t *testing.T) {
+	c := DefaultConfig(8, 1, false)
+	bare, err := c.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Trace = os.Stderr
+	c.Sink = nopSink{}
+	observed, err := c.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bare, observed) {
+		t.Fatalf("observers changed the canonical encoding:\n%s\nvs\n%s", bare, observed)
+	}
+}
+
+func TestCanonicalVersionRejected(t *testing.T) {
+	if _, err := UnmarshalCanonicalConfig([]byte(`{"v":99}`)); err == nil {
+		t.Fatal("unknown canonical version accepted")
+	}
+	if _, err := UnmarshalCanonicalConfig([]byte(`not json`)); err == nil {
+		t.Fatal("malformed canonical config accepted")
+	}
+}

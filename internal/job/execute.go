@@ -1,0 +1,278 @@
+package job
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/core"
+	"multiscalar/internal/interp"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/trace"
+	"multiscalar/internal/workloads"
+)
+
+// DefaultMaxInstrs bounds functional executions that set no explicit
+// MaxInstrs — large enough for every workload in the suite, small enough
+// that a non-terminating program errors out rather than spinning forever.
+const DefaultMaxInstrs uint64 = 1 << 40
+
+// Runtime carries the per-call attachments that never participate in a
+// spec's identity: live observers and resumption state. A nil Runtime is
+// a plain run.
+type Runtime struct {
+	// Sink receives the typed event stream during the run (the facade's
+	// WithTrace). Ignored when the spec itself requests a trace artifact
+	// — an artifact run owns its writer.
+	Sink trace.Sink
+
+	// Stdin, when non-nil, overrides Spec.Stdin with a streaming reader
+	// (the facade's WithStdin escape hatch for os.Stdin-style sources;
+	// service requests always carry bytes in the spec so they can hash).
+	Stdin io.Reader
+
+	// Checkpoint: at the first executed cycle at or after CheckpointAt,
+	// serialize the machine and pass the bytes to CheckpointSave.
+	CheckpointAt   uint64
+	CheckpointSave func(snapshot []byte) error
+
+	// Restore resumes the run from a snapshot instead of the entry point.
+	Restore []byte
+}
+
+// Oracle is the functional-simulator reference for one program: the
+// output and instruction counts every timing run of it must reproduce.
+type Oracle struct {
+	ICount                  uint64
+	Loads, Stores, Branches uint64
+	Out                     string
+	ExitCode                int32
+}
+
+// Output is what a job produces.
+type Output struct {
+	Result   *core.Result // simulate jobs
+	Oracle   *Oracle      // set when the job ran the functional oracle
+	Program  []byte       // assemble jobs: the .msb container bytes
+	Trace    []byte       // .mstrc bytes when Spec.WantTrace
+	Snapshot []byte       // finished-machine snapshot when Spec.WantSnapshot
+}
+
+// buildMemo single-flights program construction per assemble-shaped key:
+// a workload built at one (mode, scale) — or a source text built at one
+// mode — is assembled once per process no matter how many simulate jobs
+// reference it. The cached Program is shared and must not be mutated.
+var buildMemo sync.Map // string -> *buildOnce
+
+type buildOnce struct {
+	once sync.Once
+	prog *isa.Program
+	err  error
+}
+
+// ResetBuildMemo drops the process-wide program-build cache (tests).
+func ResetBuildMemo() { buildMemo = sync.Map{} }
+
+// Resolve returns the spec's program, building it if the spec names a
+// source text or workload (memoized, single-flight). The returned
+// program is shared: clone before mutating.
+func (s *Spec) Resolve() (*isa.Program, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Program != nil {
+		return s.Program, nil
+	}
+	bs := Spec{Op: OpAssemble, Source: s.Source, Workload: s.Workload, Scale: s.Scale, Mode: s.Mode}
+	key, err := bs.Key()
+	if err != nil {
+		return nil, err
+	}
+	v, _ := buildMemo.LoadOrStore(key, &buildOnce{})
+	e := v.(*buildOnce)
+	e.once.Do(func() { e.prog, e.err = build(s) })
+	return e.prog, e.err
+}
+
+func build(s *Spec) (*isa.Program, error) {
+	if s.Workload != "" {
+		w := workloads.Get(s.Workload)
+		if w == nil {
+			return nil, fmt.Errorf("job: unknown workload %q", s.Workload)
+		}
+		return w.Build(s.Mode, s.Scale)
+	}
+	return asm.Assemble(s.Source, s.Mode)
+}
+
+// machine is the common surface of the two timing machines.
+type machine interface {
+	Run() (*core.Result, error)
+	Save() ([]byte, error)
+	Restore([]byte) error
+	ScheduleCheckpoint(cycle uint64, fn func() error)
+}
+
+// Execute runs one job to completion: the one execution path behind the
+// facade's Run, the bench harness, and the msserve engine. rt may be nil.
+func Execute(s *Spec, rt *Runtime) (*Output, error) {
+	if rt == nil {
+		rt = &Runtime{}
+	}
+	p, err := s.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	if s.Op == OpAssemble {
+		var buf bytes.Buffer
+		if err := isa.WriteProgram(&buf, p); err != nil {
+			return nil, err
+		}
+		return &Output{Program: buf.Bytes()}, nil
+	}
+
+	cfg := s.Config
+	if rt.Sink != nil && !s.WantTrace {
+		cfg.Sink = rt.Sink
+	}
+	if s.MaxCycles > 0 {
+		cfg.MaxCycles = s.MaxCycles
+	}
+
+	stdin := rt.Stdin
+	var stdinBytes []byte
+	if stdin == nil && s.Stdin != nil {
+		stdinBytes = s.Stdin
+		stdin = bytes.NewReader(s.Stdin)
+	}
+
+	out := &Output{}
+	if s.Verify {
+		// The oracle and the timing run must read the same input, so a
+		// one-shot reader is slurped and each run gets its own view.
+		if rt.Stdin != nil {
+			if stdinBytes, err = io.ReadAll(rt.Stdin); err != nil {
+				return nil, fmt.Errorf("multiscalar: reading stdin for verification: %w", err)
+			}
+			stdin = bytes.NewReader(stdinBytes)
+		}
+		var oin io.Reader
+		if stdinBytes != nil {
+			oin = bytes.NewReader(stdinBytes)
+		}
+		if out.Oracle, err = RunOracle(p, oin, s.MaxInstrs); err != nil {
+			return nil, err
+		}
+	}
+
+	var tw *trace.Writer
+	var tbuf bytes.Buffer
+	if s.WantTrace {
+		meta := trace.Meta{NumUnits: cfg.NumUnits, Label: s.label()}
+		if meta.NumUnits <= 0 {
+			meta.NumUnits = 1
+		}
+		if len(p.Tasks) > 0 {
+			meta.Tasks = make(map[uint32]string, len(p.Tasks))
+			for entry, td := range p.Tasks {
+				meta.Tasks[entry] = td.Name
+			}
+		}
+		if tw, err = trace.NewWriter(&tbuf, meta); err != nil {
+			return nil, err
+		}
+		cfg.Sink = tw
+	}
+
+	env := interp.NewSysEnv()
+	env.In = stdin
+	m, err := newMachine(s, p, env, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if rt.CheckpointSave != nil {
+		m.ScheduleCheckpoint(rt.CheckpointAt, func() error {
+			snap, err := m.Save()
+			if err != nil {
+				return err
+			}
+			return rt.CheckpointSave(snap)
+		})
+	}
+	if rt.Restore != nil {
+		if err := m.Restore(rt.Restore); err != nil {
+			return nil, err
+		}
+	}
+	res, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			return nil, err
+		}
+		out.Trace = tbuf.Bytes()
+	}
+	if o := out.Oracle; o != nil {
+		if res.Out != o.Out {
+			return nil, fmt.Errorf("multiscalar: output diverged from oracle: %q vs %q", res.Out, o.Out)
+		}
+		if res.Committed != o.ICount {
+			return nil, fmt.Errorf("multiscalar: committed %d instructions, oracle executed %d",
+				res.Committed, o.ICount)
+		}
+	}
+	if s.WantSnapshot {
+		if out.Snapshot, err = m.Save(); err != nil {
+			return nil, err
+		}
+	}
+	out.Result = res
+	return out, nil
+}
+
+func (s *Spec) label() string {
+	if s.Workload != "" {
+		return s.Workload
+	}
+	return "job"
+}
+
+func newMachine(s *Spec, p *isa.Program, env *interp.SysEnv, cfg core.Config) (machine, error) {
+	switch s.Machine {
+	case MachineScalar:
+		return core.NewScalar(p, env, cfg), nil
+	case MachineMultiscalar:
+		return core.NewMultiscalar(p, env, cfg)
+	default:
+		if cfg.NumUnits <= 1 && len(p.Tasks) == 0 {
+			return core.NewScalar(p, env, cfg), nil
+		}
+		return core.NewMultiscalar(p, env, cfg)
+	}
+}
+
+// RunOracle executes a program on the functional simulator and returns
+// the reference outcome. maxInstrs of 0 means DefaultMaxInstrs.
+func RunOracle(p *isa.Program, stdin io.Reader, maxInstrs uint64) (*Oracle, error) {
+	if maxInstrs == 0 {
+		maxInstrs = DefaultMaxInstrs
+	}
+	env := interp.NewSysEnv()
+	env.In = stdin
+	m := interp.NewMachine(p, env)
+	if err := m.Run(maxInstrs); err != nil {
+		return nil, err
+	}
+	return &Oracle{
+		ICount:   m.ICount,
+		Loads:    m.LoadCount,
+		Stores:   m.StoreCount,
+		Branches: m.BranchCount,
+		Out:      env.Out.String(),
+		ExitCode: env.ExitCode,
+	}, nil
+}

@@ -1,0 +1,231 @@
+// Package job promotes the harness's implicit unit of work into a
+// first-class request type. A Spec names everything that determines a
+// result — the program (inline, as source, or as a suite workload), the
+// machine Config, the program input, the run bounds, and the artifacts
+// the caller wants back — and hashes to a stable content-addressed Key.
+// Everything that caches or serves simulation work keys on it: the bench
+// harness's build/oracle and shared-run snapshot memos, the msserve
+// result cache, and the public SubmitJob facade all consume the same key
+// instead of hand-rolled tuples.
+package job
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/core"
+	"multiscalar/internal/isa"
+)
+
+// SpecVersion tags the canonical encoding Key hashes. Bump it whenever a
+// Spec field is added, removed, or reinterpreted, so keys from different
+// layouts can never alias.
+const SpecVersion = 1
+
+// Op selects what a job does.
+type Op uint8
+
+const (
+	// OpSimulate runs the timing simulation the Config describes.
+	OpSimulate Op = iota
+	// OpAssemble only builds the program (returning the .msb container)
+	// without simulating it.
+	OpAssemble
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSimulate:
+		return "simulate"
+	case OpAssemble:
+		return "assemble"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// MachineSel overrides the machine-dispatch rule for a simulate job.
+type MachineSel uint8
+
+const (
+	// MachineAuto applies the facade rule: the scalar baseline iff the
+	// configuration has at most one unit and the binary carries no task
+	// descriptors, otherwise the multiscalar processor.
+	MachineAuto MachineSel = iota
+	// MachineScalar forces the scalar baseline (the deprecated RunScalar
+	// contract).
+	MachineScalar
+	// MachineMultiscalar forces the multiscalar machine (the deprecated
+	// RunMultiscalar contract; the program must carry task descriptors).
+	MachineMultiscalar
+)
+
+// Spec is one unit of simulation-service work. The zero value is not a
+// valid job: exactly one program identity (Program, Source, or Workload)
+// must be set.
+//
+// Spec is a value type: the fields fully determine the result, and Key
+// hashes a canonical encoding of them. Runtime attachments that do not
+// affect the result bytes — live trace sinks, checkpoint callbacks,
+// streaming stdin — ride in a Runtime instead and never enter the key.
+type Spec struct {
+	Op Op
+
+	// Program identity — exactly one of the three.
+	Program  *isa.Program // pre-assembled binary (hashed by content)
+	Source   string       // annotated assembly text, built with Mode
+	Workload string       // a suite workload name, built with Mode at Scale
+
+	Scale int      // workload problem scale (0 = the workload's default)
+	Mode  asm.Mode // build mode for Source/Workload jobs
+
+	Machine MachineSel
+
+	// Config describes the simulated machine (OpSimulate only; its
+	// runtime-only Trace/Sink fields never reach the key).
+	Config core.Config
+
+	// Stdin is the program's input stream. nil (no input) and empty
+	// (present but zero-length input) are distinct, matching the memo
+	// contract the bench harness has always kept.
+	Stdin []byte
+
+	// Run bounds. Zero means the Config / facade default.
+	MaxCycles uint64
+	MaxInstrs uint64
+
+	// Verify checks the timing run against the functional oracle.
+	Verify bool
+
+	// Requested artifacts.
+	WantTrace    bool // return the run's .mstrc event trace
+	WantSnapshot bool // return the finished machine's snapshot
+}
+
+// Validate checks structural invariants common to every consumer.
+func (s *Spec) Validate() error {
+	if s.Op != OpSimulate && s.Op != OpAssemble {
+		return fmt.Errorf("job: unknown op %d", int(s.Op))
+	}
+	if s.Machine != MachineAuto && s.Machine != MachineScalar && s.Machine != MachineMultiscalar {
+		return fmt.Errorf("job: unknown machine selector %d", int(s.Machine))
+	}
+	n := 0
+	if s.Program != nil {
+		n++
+	}
+	if s.Source != "" {
+		n++
+	}
+	if s.Workload != "" {
+		n++
+	}
+	if n != 1 {
+		return errors.New("job: exactly one of Program, Source, Workload must be set")
+	}
+	if s.Op == OpAssemble && s.Program != nil {
+		return errors.New("job: assemble jobs take Source or Workload, not a built Program")
+	}
+	return nil
+}
+
+// MarshalCanonical returns the versioned canonical binary encoding of the
+// spec: a fixed field order with tagged, length-prefixed sections, the
+// program reduced to its content hash, the Config reduced to its
+// canonical JSON. Byte-equal encodings mean "the same job"; Key hashes
+// exactly these bytes.
+func (s *Spec) MarshalCanonical() ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 256)
+	buf = append(buf, 'M', 'S', 'J', 'B', SpecVersion)
+	buf = append(buf, byte(s.Op), byte(s.Machine), byte(s.Mode))
+
+	appendBytes := func(tag byte, b []byte) {
+		buf = append(buf, tag)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(len(b)))
+		buf = append(buf, b...)
+	}
+	switch {
+	case s.Program != nil:
+		h, err := ProgramHash(s.Program)
+		if err != nil {
+			return nil, err
+		}
+		appendBytes('P', []byte(h))
+	case s.Source != "":
+		appendBytes('S', []byte(s.Source))
+	default:
+		appendBytes('W', []byte(s.Workload))
+	}
+	buf = binary.BigEndian.AppendUint64(buf, uint64(int64(s.Scale)))
+
+	if s.Op == OpSimulate {
+		cfg, err := s.Config.MarshalCanonical()
+		if err != nil {
+			return nil, err
+		}
+		appendBytes('C', cfg)
+	}
+
+	if s.Stdin == nil {
+		buf = append(buf, 0)
+	} else {
+		appendBytes(1, s.Stdin)
+	}
+
+	buf = binary.BigEndian.AppendUint64(buf, s.MaxCycles)
+	buf = binary.BigEndian.AppendUint64(buf, s.MaxInstrs)
+
+	var flags byte
+	if s.Verify {
+		flags |= 1
+	}
+	if s.WantTrace {
+		flags |= 2
+	}
+	if s.WantSnapshot {
+		flags |= 4
+	}
+	buf = append(buf, flags)
+	return buf, nil
+}
+
+// Key returns the spec's stable content-addressed identity: the
+// hex-encoded SHA-256 of the canonical encoding. Equal keys mean equal
+// jobs (up to hash collision), across processes and over time for a
+// given SpecVersion.
+func (s *Spec) Key() (string, error) {
+	enc, err := s.MarshalCanonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(enc)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// progHashes memoizes content hashes by program pointer: a memoized
+// workload build is shared across dozens of jobs and must hash once,
+// while transformed clones (the forwarding ablation) hash to their own
+// identity.
+var progHashes sync.Map // *isa.Program -> string
+
+// ProgramHash returns the SHA-256 of the program's wire encoding (text,
+// data, task descriptors, symbols), memoized per pointer.
+func ProgramHash(p *isa.Program) (string, error) {
+	if v, ok := progHashes.Load(p); ok {
+		return v.(string), nil
+	}
+	h := sha256.New()
+	if err := isa.WriteProgram(h, p); err != nil {
+		return "", err
+	}
+	s := string(h.Sum(nil))
+	progHashes.Store(p, s)
+	return s, nil
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// cache is the content-addressed result store: an in-memory LRU over job
+// keys with single-flight admission (concurrent submissions of one key
+// run exactly one execution; everyone else waits on the first) and an
+// optional on-disk spill that survives eviction — and daemon restarts.
+type cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*cacheEntry
+	ll      *list.List // front = most recently used, values are *cacheEntry
+	dir     string     // spill directory ("" disables)
+
+	evictions uint64
+	spilled   uint64
+}
+
+type cacheEntry struct {
+	key   string
+	elem  *list.Element
+	ready chan struct{} // closed when res/err are final
+	done  bool
+	res   *Result // canonical stored result; Cached flag always false here
+	err   error
+	refs  int // submissions currently holding the entry; pins against eviction
+}
+
+func newCache(capacity int, dir string) *cache {
+	return &cache{
+		cap:     capacity,
+		entries: map[string]*cacheEntry{},
+		ll:      list.New(),
+		dir:     dir,
+	}
+}
+
+// acquire returns the entry for key with a reference held, and whether
+// the caller was admitted as the key's executor (the entry is new). The
+// caller must release the entry when done with it; an executor must also
+// complete it exactly once.
+func (c *cache) acquire(key string) (e *cacheEntry, executor bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e = c.entries[key]; e != nil {
+		e.refs++
+		c.ll.MoveToFront(e.elem)
+		return e, false
+	}
+	e = &cacheEntry{key: key, ready: make(chan struct{}), refs: 1}
+	e.elem = c.ll.PushFront(e)
+	c.entries[key] = e
+	return e, true
+}
+
+// complete finalizes an executor's entry. Successful results stay
+// resident (and spill to disk when configured); failures are not cached
+// — the entry is dropped so a later submission retries — but waiters
+// blocked on this flight still observe the error.
+func (c *cache) complete(e *cacheEntry, res *Result, err error) {
+	c.mu.Lock()
+	e.res, e.err, e.done = res, err, true
+	if err != nil {
+		c.removeLocked(e)
+	}
+	c.evictLocked()
+	c.mu.Unlock()
+	close(e.ready)
+}
+
+// maybeSpill persists a freshly executed result to the spill directory.
+func (c *cache) maybeSpill(key string, res *Result) {
+	if c.dir == "" {
+		return
+	}
+	if c.store(key, res) == nil {
+		c.mu.Lock()
+		c.spilled++
+		c.mu.Unlock()
+	}
+}
+
+// release drops one reference.
+func (c *cache) release(e *cacheEntry) {
+	c.mu.Lock()
+	e.refs--
+	c.evictLocked()
+	c.mu.Unlock()
+}
+
+// evictLocked trims the LRU to capacity. Only finished entries nobody is
+// holding are eligible: an in-flight execution or an entry with waiters
+// is never evicted, so the cache can transiently exceed its bound rather
+// than corrupt a flight.
+func (c *cache) evictLocked() {
+	for el := c.ll.Back(); el != nil && c.ll.Len() > c.cap; {
+		prev := el.Prev()
+		e := el.Value.(*cacheEntry)
+		if e.done && e.refs == 0 {
+			c.removeLocked(e)
+			c.evictions++
+		}
+		el = prev
+	}
+}
+
+func (c *cache) removeLocked(e *cacheEntry) {
+	if c.entries[e.key] == e {
+		delete(c.entries, e.key)
+	}
+	if e.elem != nil {
+		c.ll.Remove(e.elem)
+		e.elem = nil
+	}
+}
+
+func (c *cache) stats() (entries int, evictions, spilled uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.evictions, c.spilled
+}
+
+// Disk spill: one JSON file per key, content-addressed under a two-byte
+// shard directory. The payload is the canonical Result (the artifacts —
+// snapshots, .mstrc traces — ride inside it base64-encoded), so a spilled
+// entry answers later submissions byte-identically after eviction or
+// restart.
+
+func (c *cache) spillPath(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+func (c *cache) store(key string, res *Result) error {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	path := c.spillPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	// Write-then-rename so a crashed daemon never leaves a torn entry a
+	// restarted one would serve.
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// load returns the spilled result for key, or nil when the spill is
+// disabled, absent, or unreadable (a corrupt file is treated as a miss).
+func (c *cache) load(key string) *Result {
+	if c.dir == "" {
+		return nil
+	}
+	data, err := os.ReadFile(c.spillPath(key))
+	if err != nil {
+		return nil
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil || res.Key != key {
+		return nil
+	}
+	return &res
+}
+
+func (c *cache) String() string {
+	n, ev, sp := c.stats()
+	return fmt.Sprintf("cache{entries=%d evictions=%d spilled=%d}", n, ev, sp)
+}

@@ -1,0 +1,189 @@
+// Package serve turns the simulator into servable surface: a
+// transport-agnostic job engine that accepts assemble/simulate/trace
+// jobs (internal/job specs), answers duplicates from a content-addressed
+// result cache (in-memory LRU with single-flight admission and on-disk
+// spill), bounds concurrent executions with per-client fair queueing,
+// and exposes HTTP/JSON handlers plus metrics on top. cmd/msserve is the
+// daemon; the root package's SubmitJob is the in-process facade. See
+// docs/serve.md.
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+
+	"multiscalar/internal/bench"
+	"multiscalar/internal/core"
+	"multiscalar/internal/job"
+)
+
+// Result is what a job submission returns. The same key always carries
+// byte-identical payload fields; only Cached varies per retrieval (false
+// exactly once, on the submission that executed the job).
+type Result struct {
+	Key    string `json:"key"`
+	Cached bool   `json:"cached"`
+	Op     string `json:"op"`
+
+	Sim      *core.Result `json:"sim,omitempty"`      // simulate jobs
+	Program  []byte       `json:"program,omitempty"`  // assemble jobs: .msb bytes
+	Trace    []byte       `json:"trace,omitempty"`    // .mstrc artifact
+	Snapshot []byte       `json:"snapshot,omitempty"` // finished-machine snapshot
+}
+
+// withCached returns a shallow copy with the per-retrieval flag set; the
+// stored canonical result is never mutated.
+func (r *Result) withCached(hit bool) *Result {
+	cp := *r
+	cp.Cached = hit
+	return &cp
+}
+
+// Metrics is the engine's counter snapshot (the /v1/metrics payload).
+type Metrics struct {
+	Jobs      uint64 `json:"jobs"`       // submissions received
+	Executed  uint64 `json:"executed"`   // jobs that actually ran a build/simulation
+	CacheHits uint64 `json:"cache_hits"` // answered from memory or a single-flight wait
+	DiskHits  uint64 `json:"disk_hits"`  // restored from the on-disk spill
+	Errors    uint64 `json:"errors"`
+	Evictions uint64 `json:"evictions"`
+	Spilled   uint64 `json:"spilled"`
+
+	QueueDepth   int `json:"queue_depth"`   // executions waiting for a slot
+	InFlight     int `json:"in_flight"`     // executions running now
+	CacheEntries int `json:"cache_entries"` // resident results
+}
+
+// Engine is the transport-agnostic job service: the HTTP layer, the CLI,
+// and the in-process facade all speak to this interface.
+type Engine interface {
+	// Submit runs one job (or answers it from cache) on behalf of a
+	// client and returns its result. Identical specs — equal job keys —
+	// are answered from the content-addressed cache with byte-identical
+	// payloads; Result.Cached reports whether this submission executed.
+	Submit(ctx context.Context, client string, spec *job.Spec) (*Result, error)
+	// Metrics snapshots the engine counters.
+	Metrics() Metrics
+}
+
+// Options configures a Local engine. Zero values pick serving defaults.
+type Options struct {
+	// CacheEntries bounds the in-memory LRU (default 512 results).
+	CacheEntries int
+	// SpillDir, when set, persists every finished result to disk keyed
+	// by job hash; evicted (or post-restart) keys are answered from it.
+	SpillDir string
+	// Workers bounds concurrently executing jobs (default: the bench
+	// harness pool width, i.e. GOMAXPROCS).
+	Workers int
+	// PerClientInFlight bounds one client's concurrently executing jobs
+	// (default 2), so a flood from one client cannot occupy every slot.
+	PerClientInFlight int
+}
+
+// Local is the in-process Engine implementation.
+type Local struct {
+	cache *cache
+	queue *fairQueue
+
+	// runJob executes a cache-missed job; swapped in tests.
+	runJob func(*job.Spec) (*job.Output, error)
+
+	jobs, executed, hits, diskHits, errs atomic.Uint64
+}
+
+// NewLocal builds an engine over the real executor (job.Execute).
+func NewLocal(o Options) *Local {
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 512
+	}
+	if o.Workers <= 0 {
+		o.Workers = bench.Workers()
+	}
+	if o.PerClientInFlight <= 0 {
+		o.PerClientInFlight = 2
+	}
+	return &Local{
+		cache:  newCache(o.CacheEntries, o.SpillDir),
+		queue:  newFairQueue(o.Workers, o.PerClientInFlight),
+		runJob: func(s *job.Spec) (*job.Output, error) { return job.Execute(s, nil) },
+	}
+}
+
+// Submit implements Engine.
+func (l *Local) Submit(ctx context.Context, client string, spec *job.Spec) (*Result, error) {
+	l.jobs.Add(1)
+	key, err := spec.Key()
+	if err != nil {
+		l.errs.Add(1)
+		return nil, err
+	}
+
+	e, executor := l.cache.acquire(key)
+	defer l.cache.release(e)
+	if !executor {
+		// Hit or coalesced duplicate: wait for the flight (a no-op when
+		// the entry is already done) and share its outcome.
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if e.err != nil {
+			l.errs.Add(1)
+			return nil, e.err
+		}
+		l.hits.Add(1)
+		return e.res.withCached(true), nil
+	}
+
+	// Executor path: the spill answers before a slot is taken — restoring
+	// a result from disk is a read, not a simulation.
+	if res := l.cache.load(key); res != nil {
+		l.diskHits.Add(1)
+		l.cache.complete(e, res, nil)
+		return res.withCached(true), nil
+	}
+
+	if err := l.queue.acquire(ctx, client); err != nil {
+		l.cache.complete(e, nil, err)
+		l.errs.Add(1)
+		return nil, err
+	}
+	out, err := l.runJob(spec)
+	l.queue.release(client)
+	if err != nil {
+		l.cache.complete(e, nil, err)
+		l.errs.Add(1)
+		return nil, err
+	}
+	l.executed.Add(1)
+	res := &Result{
+		Key:      key,
+		Op:       spec.Op.String(),
+		Sim:      out.Result,
+		Program:  out.Program,
+		Trace:    out.Trace,
+		Snapshot: out.Snapshot,
+	}
+	l.cache.complete(e, res, nil)
+	l.cache.maybeSpill(key, res)
+	return res.withCached(false), nil
+}
+
+// Metrics implements Engine.
+func (l *Local) Metrics() Metrics {
+	entries, evictions, spilled := l.cache.stats()
+	return Metrics{
+		Jobs:         l.jobs.Load(),
+		Executed:     l.executed.Load(),
+		CacheHits:    l.hits.Load(),
+		DiskHits:     l.diskHits.Load(),
+		Errors:       l.errs.Load(),
+		Evictions:    evictions,
+		Spilled:      spilled,
+		QueueDepth:   l.queue.queueDepth(),
+		InFlight:     l.queue.inFlight(),
+		CacheEntries: entries,
+	}
+}

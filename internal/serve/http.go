@@ -1,0 +1,343 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/bench"
+	"multiscalar/internal/core"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/job"
+)
+
+// WireJob is the JSON request form of a job.Spec (docs/serve.md). The
+// machine is given either as a full canonical config (core
+// MarshalCanonical form) or as a preset naming the paper's
+// configurations; exactly one program identity must be set.
+type WireJob struct {
+	// Op: "simulate" (default), "assemble", or "trace" — sugar for
+	// simulate with the trace artifact requested.
+	Op string `json:"op,omitempty"`
+
+	// Program identity (exactly one).
+	Workload string `json:"workload,omitempty"` // suite workload name
+	Source   string `json:"source,omitempty"`   // annotated assembly text
+	Program  []byte `json:"program,omitempty"`  // .msb container (base64)
+
+	Scale int    `json:"scale,omitempty"` // workload scale (0 = default)
+	Mode  string `json:"mode,omitempty"`  // "scalar" | "multiscalar"
+
+	Machine string          `json:"machine,omitempty"` // "auto" | "scalar" | "multiscalar"
+	Config  json.RawMessage `json:"config,omitempty"`  // canonical Config JSON
+	Preset  *WirePreset     `json:"preset,omitempty"`  // or a paper preset
+
+	Stdin     []byte `json:"stdin,omitempty"` // program input (base64)
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
+	MaxInstrs uint64 `json:"max_instrs,omitempty"`
+	Verify    bool   `json:"verify,omitempty"`
+	Trace     bool   `json:"trace,omitempty"`    // request the .mstrc artifact
+	Snapshot  bool   `json:"snapshot,omitempty"` // request the finished-machine snapshot
+}
+
+// WirePreset names a Section 5.1 configuration: DefaultConfig(units,
+// width, ooo), or ScalarConfig(width, ooo) when units <= 1.
+type WirePreset struct {
+	Units int  `json:"units"`
+	Width int  `json:"width,omitempty"` // default 1
+	OOO   bool `json:"ooo,omitempty"`
+}
+
+func (p *WirePreset) config() core.Config {
+	w := p.Width
+	if w <= 0 {
+		w = 1
+	}
+	if p.Units <= 1 {
+		return core.ScalarConfig(w, p.OOO)
+	}
+	return core.DefaultConfig(p.Units, w, p.OOO)
+}
+
+// Decode converts the wire form to the canonical job.Spec.
+func (w *WireJob) Decode() (*job.Spec, error) {
+	s := &job.Spec{
+		Workload:     w.Workload,
+		Source:       w.Source,
+		Scale:        w.Scale,
+		Stdin:        w.Stdin,
+		MaxCycles:    w.MaxCycles,
+		MaxInstrs:    w.MaxInstrs,
+		Verify:       w.Verify,
+		WantTrace:    w.Trace,
+		WantSnapshot: w.Snapshot,
+	}
+	switch w.Op {
+	case "", "simulate":
+		s.Op = job.OpSimulate
+	case "trace":
+		s.Op = job.OpSimulate
+		s.WantTrace = true
+	case "assemble":
+		s.Op = job.OpAssemble
+	default:
+		return nil, fmt.Errorf("unknown op %q (valid: simulate, assemble, trace)", w.Op)
+	}
+	switch w.Machine {
+	case "", "auto":
+		s.Machine = job.MachineAuto
+	case "scalar":
+		s.Machine = job.MachineScalar
+	case "multiscalar":
+		s.Machine = job.MachineMultiscalar
+	default:
+		return nil, fmt.Errorf("unknown machine %q (valid: auto, scalar, multiscalar)", w.Machine)
+	}
+	if len(w.Program) > 0 {
+		p, err := isa.ReadProgram(bytes.NewReader(w.Program))
+		if err != nil {
+			return nil, fmt.Errorf("decoding program: %w", err)
+		}
+		s.Program = p
+	}
+	if s.Op == job.OpSimulate {
+		switch {
+		case len(w.Config) > 0 && w.Preset != nil:
+			return nil, errors.New("config and preset are mutually exclusive")
+		case len(w.Config) > 0:
+			cfg, err := core.UnmarshalCanonicalConfig(w.Config)
+			if err != nil {
+				return nil, err
+			}
+			s.Config = cfg
+		case w.Preset != nil:
+			s.Config = w.Preset.config()
+		default:
+			return nil, errors.New("simulate jobs need a config or a preset")
+		}
+	}
+	units := 0
+	if w.Preset != nil {
+		units = w.Preset.Units
+	} else if s.Op == job.OpSimulate {
+		units = s.Config.NumUnits
+	}
+	switch w.Mode {
+	case "scalar":
+		s.Mode = asm.ModeScalar
+	case "multiscalar":
+		s.Mode = asm.ModeMultiscalar
+	case "":
+		// The mssim rule: one unit (or interpretation) gets the scalar
+		// binary, everything else the annotated multiscalar build.
+		if s.Op == job.OpSimulate && units <= 1 && s.Machine != job.MachineMultiscalar {
+			s.Mode = asm.ModeScalar
+		} else {
+			s.Mode = asm.ModeMultiscalar
+		}
+	default:
+		return nil, fmt.Errorf("unknown mode %q (valid: scalar, multiscalar)", w.Mode)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SubmitRequest is the POST /v1/jobs body.
+type SubmitRequest struct {
+	Client string  `json:"client,omitempty"`
+	Job    WireJob `json:"job"`
+}
+
+// BatchRequest is the POST /v1/batch body: an explicit job list, a sweep
+// (one base job expanded over unit/width/order axes — one request, a
+// whole config sweep), or both.
+type BatchRequest struct {
+	Client string      `json:"client,omitempty"`
+	Jobs   []WireJob   `json:"jobs,omitempty"`
+	Sweep  *BatchSweep `json:"sweep,omitempty"`
+}
+
+// BatchSweep expands Base over the cross product of the axes. Empty axes
+// default to the base preset's value (or units=8, width=1, in-order).
+type BatchSweep struct {
+	Base   WireJob `json:"base"`
+	Units  []int   `json:"units,omitempty"`
+	Widths []int   `json:"widths,omitempty"`
+	OOO    []bool  `json:"ooo,omitempty"`
+}
+
+// Expand returns the sweep's job list.
+func (s *BatchSweep) Expand() []WireJob {
+	units, widths, ooo := s.Units, s.Widths, s.OOO
+	base := s.Base
+	bp := WirePreset{Units: 8, Width: 1}
+	if base.Preset != nil {
+		bp = *base.Preset
+	}
+	if len(units) == 0 {
+		units = []int{bp.Units}
+	}
+	if len(widths) == 0 {
+		w := bp.Width
+		if w <= 0 {
+			w = 1
+		}
+		widths = []int{w}
+	}
+	if len(ooo) == 0 {
+		ooo = []bool{bp.OOO}
+	}
+	var jobs []WireJob
+	for _, u := range units {
+		for _, w := range widths {
+			for _, o := range ooo {
+				j := base
+				j.Config = nil
+				j.Preset = &WirePreset{Units: u, Width: w, OOO: o}
+				jobs = append(jobs, j)
+			}
+		}
+	}
+	return jobs
+}
+
+// JobResponse is one job's slot in a batch response.
+type JobResponse struct {
+	Index  int     `json:"index"`
+	Error  string  `json:"error,omitempty"`
+	Result *Result `json:"result,omitempty"`
+}
+
+// BatchResponse summarizes a batch submission. Cached counts jobs
+// answered without a new execution (memory, disk, or a flight another
+// submission started); Executed is the rest.
+type BatchResponse struct {
+	Count    int            `json:"count"`
+	Cached   int            `json:"cached"`
+	Executed int            `json:"executed"`
+	Errors   int            `json:"errors"`
+	Results  []*JobResponse `json:"results"`
+}
+
+// NewHandler wraps an Engine in the HTTP/JSON API:
+//
+//	POST /v1/jobs     one job            (SubmitRequest -> Result)
+//	POST /v1/batch    a job list/sweep   (BatchRequest -> BatchResponse)
+//	GET  /v1/metrics  engine counters    (Metrics)
+//	GET  /healthz     liveness
+func NewHandler(e Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req SubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+			return
+		}
+		spec, err := req.Job.Decode()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad job: %v", err)
+			return
+		}
+		res, err := e.Submit(r.Context(), clientID(req.Client, r), spec)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		writeJSON(w, res)
+	})
+	mux.HandleFunc("/v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+			return
+		}
+		jobs := req.Jobs
+		if req.Sweep != nil {
+			jobs = append(jobs, req.Sweep.Expand()...)
+		}
+		if len(jobs) == 0 {
+			httpError(w, http.StatusBadRequest, "empty batch: give jobs, a sweep, or both")
+			return
+		}
+		client := clientID(req.Client, r)
+		resp := &BatchResponse{Count: len(jobs), Results: make([]*JobResponse, len(jobs))}
+		// One batch = one fan-out over the harness worker pool; per-job
+		// failures land in their slot instead of aborting the batch.
+		_ = bench.RunJobs(len(jobs), func(i int) error {
+			jr := &JobResponse{Index: i}
+			resp.Results[i] = jr
+			spec, err := jobs[i].Decode()
+			if err == nil {
+				jr.Result, err = e.Submit(r.Context(), client, spec)
+			}
+			if err != nil {
+				jr.Error = err.Error()
+			}
+			return nil
+		})
+		for _, jr := range resp.Results {
+			switch {
+			case jr.Error != "":
+				resp.Errors++
+			case jr.Result.Cached:
+				resp.Cached++
+			default:
+				resp.Executed++
+			}
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, e.Metrics())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// clientID names the fairness bucket: the request's explicit client
+// field when present, else the remote host.
+func clientID(explicit string, r *http.Request) string {
+	if explicit != "" {
+		return explicit
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil && host != "" {
+		return host
+	}
+	if r.RemoteAddr != "" {
+		return r.RemoteAddr
+	}
+	return "anonymous"
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.Write(append(data, '\n'))
+}

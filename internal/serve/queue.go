@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// fairQueue admits job executions under two bounds: a global worker-slot
+// count (so the engine never oversubscribes the simulator pool) and a
+// per-client in-flight bound, with round-robin selection across clients.
+// A client that floods thousands of requests gets queued behind its own
+// bound while other clients' jobs keep being admitted — no one starves.
+// Only cache misses pass through the queue: hits and coalesced
+// duplicates are answered without consuming a slot.
+type fairQueue struct {
+	mu        sync.Mutex
+	slots     int // free global worker slots
+	perClient int // max in-flight executions per client
+
+	clients map[string]*clientQ
+	ring    []*clientQ // round-robin order over clients with state
+	next    int        // ring index to consider first at the next dispatch
+	depth   int        // total queued tickets
+	running int        // admitted, not yet released
+}
+
+type clientQ struct {
+	id       string
+	pending  []*ticket
+	inflight int
+}
+
+type ticket struct {
+	admitted chan struct{}
+	gone     bool // cancelled; skip on dispatch
+}
+
+func newFairQueue(slots, perClient int) *fairQueue {
+	if slots < 1 {
+		slots = 1
+	}
+	if perClient < 1 {
+		perClient = 1
+	}
+	return &fairQueue{
+		slots:     slots,
+		perClient: perClient,
+		clients:   map[string]*clientQ{},
+	}
+}
+
+// acquire blocks until the client is granted an execution slot or ctx is
+// done. Every successful acquire must be paired with a release.
+func (q *fairQueue) acquire(ctx context.Context, client string) error {
+	q.mu.Lock()
+	cq := q.clients[client]
+	if cq == nil {
+		cq = &clientQ{id: client}
+		q.clients[client] = cq
+		q.ring = append(q.ring, cq)
+	}
+	t := &ticket{admitted: make(chan struct{})}
+	cq.pending = append(cq.pending, t)
+	q.depth++
+	q.dispatchLocked()
+	q.mu.Unlock()
+
+	select {
+	case <-t.admitted:
+		return nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		select {
+		case <-t.admitted:
+			// Admitted while cancelling: give the slot back.
+			q.releaseLocked(cq)
+			q.mu.Unlock()
+			return ctx.Err()
+		default:
+		}
+		t.gone = true
+		q.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release returns the slot an acquire granted.
+func (q *fairQueue) release(client string) {
+	q.mu.Lock()
+	if cq := q.clients[client]; cq != nil {
+		q.releaseLocked(cq)
+	}
+	q.mu.Unlock()
+}
+
+func (q *fairQueue) releaseLocked(cq *clientQ) {
+	cq.inflight--
+	q.running--
+	q.slots++
+	q.dispatchLocked()
+	q.pruneLocked()
+}
+
+// dispatchLocked hands out free slots round-robin: starting after the
+// last admitted client, the first client with pending work under its
+// in-flight bound wins each slot.
+func (q *fairQueue) dispatchLocked() {
+	for q.slots > 0 && len(q.ring) > 0 {
+		admitted := false
+		for i := 0; i < len(q.ring); i++ {
+			pos := (q.next + i) % len(q.ring)
+			cq := q.ring[pos]
+			q.dropGoneLocked(cq)
+			if len(cq.pending) == 0 || cq.inflight >= q.perClient {
+				continue
+			}
+			t := cq.pending[0]
+			cq.pending = cq.pending[1:]
+			q.depth--
+			cq.inflight++
+			q.running++
+			q.slots--
+			q.next = (pos + 1) % len(q.ring)
+			close(t.admitted)
+			admitted = true
+			break
+		}
+		if !admitted {
+			return
+		}
+	}
+}
+
+// dropGoneLocked discards cancelled tickets at the head of the queue.
+func (q *fairQueue) dropGoneLocked(cq *clientQ) {
+	for len(cq.pending) > 0 && cq.pending[0].gone {
+		cq.pending = cq.pending[1:]
+		q.depth--
+	}
+}
+
+// pruneLocked forgets clients with no pending or in-flight work, so the
+// ring stays proportional to *active* clients, not everyone ever seen.
+func (q *fairQueue) pruneLocked() {
+	keep := q.ring[:0]
+	for _, cq := range q.ring {
+		q.dropGoneLocked(cq)
+		if len(cq.pending) == 0 && cq.inflight == 0 {
+			delete(q.clients, cq.id)
+			continue
+		}
+		keep = append(keep, cq)
+	}
+	if len(keep) != len(q.ring) {
+		q.ring = keep
+		if len(keep) == 0 {
+			q.next = 0
+		} else {
+			q.next %= len(keep)
+		}
+	}
+}
+
+// queueDepth reports pending (not yet admitted) executions.
+func (q *fairQueue) queueDepth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depth
+}
+
+// inFlight reports admitted, unreleased executions.
+func (q *fairQueue) inFlight() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.running
+}

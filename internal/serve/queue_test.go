@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFairQueueRoundRobin pins the starvation guarantee: with one worker
+// slot, a client that queued a burst of jobs does not lock out a second
+// client — admissions alternate between them.
+func TestFairQueueRoundRobin(t *testing.T) {
+	q := newFairQueue(1, 4)
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	run := func(client string, step time.Duration) {
+		defer wg.Done()
+		if err := q.acquire(context.Background(), client); err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		order = append(order, client)
+		mu.Unlock()
+		time.Sleep(step)
+		q.release(client)
+	}
+
+	// Client A floods four jobs and gets the only slot...
+	wg.Add(4)
+	for i := 0; i < 4; i++ {
+		go run("A", 20*time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond) // A's first job is running, three queued
+	// ...then B shows up with two jobs.
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go run("B", 20*time.Millisecond)
+	}
+	wg.Wait()
+
+	// B must be interleaved, not appended: its first job is admitted
+	// before A's backlog drains.
+	firstB := -1
+	lastA := -1
+	for i, c := range order {
+		if c == "B" && firstB < 0 {
+			firstB = i
+		}
+		if c == "A" {
+			lastA = i
+		}
+	}
+	if firstB < 0 {
+		t.Fatalf("B never admitted: order=%v", order)
+	}
+	if firstB > lastA {
+		t.Fatalf("client B starved behind A's backlog: order=%v", order)
+	}
+	if q.inFlight() != 0 || q.queueDepth() != 0 {
+		t.Fatalf("queue not drained: inflight=%d depth=%d", q.inFlight(), q.queueDepth())
+	}
+}
+
+// TestFairQueuePerClientBound pins the in-flight bound: with plenty of
+// global slots, one client may still only run perClient jobs at once.
+func TestFairQueuePerClientBound(t *testing.T) {
+	q := newFairQueue(8, 2)
+	var mu sync.Mutex
+	running, peak := 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := q.acquire(context.Background(), "greedy"); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			running++
+			if running > peak {
+				peak = running
+			}
+			mu.Unlock()
+			time.Sleep(15 * time.Millisecond)
+			mu.Lock()
+			running--
+			mu.Unlock()
+			q.release("greedy")
+		}()
+	}
+	wg.Wait()
+	if peak > 2 {
+		t.Fatalf("per-client bound violated: peak in-flight %d > 2", peak)
+	}
+}
+
+// TestFairQueueCancel pins that a cancelled waiter neither blocks the
+// queue nor leaks a slot.
+func TestFairQueueCancel(t *testing.T) {
+	q := newFairQueue(1, 1)
+	if err := q.acquire(context.Background(), "holder"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- q.acquire(ctx, "waiter") }()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("cancelled acquire returned nil")
+	}
+	q.release("holder")
+	// The slot must be free again for a third client.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if err := q.acquire(ctx2, "next"); err != nil {
+		t.Fatalf("slot leaked after cancel: %v", err)
+	}
+	q.release("next")
+	if q.inFlight() != 0 || q.queueDepth() != 0 {
+		t.Fatalf("queue not drained: inflight=%d depth=%d", q.inFlight(), q.queueDepth())
+	}
+}
+
+// TestFairQueueManyClients floods the queue from many clients under the
+// race detector and checks conservation of slots.
+func TestFairQueueManyClients(t *testing.T) {
+	q := newFairQueue(4, 2)
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		for j := 0; j < 5; j++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				id := fmt.Sprintf("c%d", c)
+				if err := q.acquire(context.Background(), id); err != nil {
+					t.Error(err)
+					return
+				}
+				q.release(id)
+			}(c)
+		}
+	}
+	wg.Wait()
+	if q.inFlight() != 0 || q.queueDepth() != 0 {
+		t.Fatalf("queue not drained: inflight=%d depth=%d", q.inFlight(), q.queueDepth())
+	}
+}

@@ -30,16 +30,17 @@
 package multiscalar
 
 import (
-	"bytes"
-	"fmt"
+	"context"
 	"io"
+	"sync"
 
 	"multiscalar/internal/annotate"
 	"multiscalar/internal/asm"
 	"multiscalar/internal/core"
-	"multiscalar/internal/interp"
 	"multiscalar/internal/isa"
+	"multiscalar/internal/job"
 	"multiscalar/internal/mslint"
+	"multiscalar/internal/serve"
 	"multiscalar/internal/taskpart"
 	"multiscalar/internal/trace"
 	"multiscalar/internal/workloads"
@@ -183,18 +184,16 @@ type InterpResult struct {
 // WithMaxInstrs — large enough for every workload in the suite, small
 // enough that a non-terminating program errors out rather than spinning
 // forever.
-const DefaultMaxInstrs uint64 = 1 << 40
+const DefaultMaxInstrs uint64 = job.DefaultMaxInstrs
 
-// runOptions collects the knobs the Run/Interpret options set.
+// runOptions is the job the options describe: every RunOption folds into
+// either the JobSpec (the canonical, hashable request shape shared with
+// the bench harness and the msserve service) or the job Runtime (live
+// attachments — sinks, streaming readers, checkpoint callbacks — that
+// never participate in a job's identity).
 type runOptions struct {
-	sink      trace.Sink
-	stdin     io.Reader
-	maxCycles uint64
-	maxInstrs uint64
-	verify    bool
-	chkCycle  uint64
-	chkSave   func([]byte) error
-	restore   []byte
+	spec job.Spec
+	rt   job.Runtime
 }
 
 // RunOption configures Run or Interpret.
@@ -206,7 +205,7 @@ type RunOption func(*runOptions)
 // The sink receives events during the run and must not be read until Run
 // returns. Interpret ignores it.
 func WithTrace(sink TraceSink) RunOption {
-	return func(o *runOptions) { o.sink = sink }
+	return func(o *runOptions) { o.rt.Sink = sink }
 }
 
 // WithStdin supplies the program's input stream (syscall SysReadChar).
@@ -214,18 +213,18 @@ func WithTrace(sink TraceSink) RunOption {
 // re-readable source like a bytes.Reader — with WithVerify the reader is
 // slurped once and both the oracle and the timing run see the same bytes.
 func WithStdin(r io.Reader) RunOption {
-	return func(o *runOptions) { o.stdin = r }
+	return func(o *runOptions) { o.rt.Stdin = r }
 }
 
 // WithMaxCycles overrides Config.MaxCycles, the timing-run deadlock bound.
 func WithMaxCycles(n uint64) RunOption {
-	return func(o *runOptions) { o.maxCycles = n }
+	return func(o *runOptions) { o.spec.MaxCycles = n }
 }
 
 // WithMaxInstrs bounds functional executions — Interpret itself and the
 // oracle run WithVerify performs (default DefaultMaxInstrs).
 func WithMaxInstrs(n uint64) RunOption {
-	return func(o *runOptions) { o.maxInstrs = n }
+	return func(o *runOptions) { o.spec.MaxInstrs = n }
 }
 
 // WithVerify makes Run check the timing simulation against the
@@ -233,7 +232,7 @@ func WithMaxInstrs(n uint64) RunOption {
 // and Run fails unless both produce identical output and the timing run
 // commits exactly the oracle's dynamic instruction count.
 func WithVerify() RunOption {
-	return func(o *runOptions) { o.verify = true }
+	return func(o *runOptions) { o.spec.Verify = true }
 }
 
 // WithCheckpoint schedules a one-time snapshot of the timing run: at
@@ -245,7 +244,7 @@ func WithVerify() RunOption {
 // RestoreFrom resumes exactly where the snapshot was taken. Interpret
 // ignores this option.
 func WithCheckpoint(cycle uint64, save func(snapshot []byte) error) RunOption {
-	return func(o *runOptions) { o.chkCycle, o.chkSave = cycle, save }
+	return func(o *runOptions) { o.rt.CheckpointAt, o.rt.CheckpointSave = cycle, save }
 }
 
 // RestoreFrom makes Run resume from a snapshot instead of starting at
@@ -257,7 +256,19 @@ func WithCheckpoint(cycle uint64, save func(snapshot []byte) error) RunOption {
 // same bytes — the restored run skips what the saved run had consumed.
 // Interpret ignores this option.
 func RestoreFrom(snapshot []byte) RunOption {
-	return func(o *runOptions) { o.restore = snapshot }
+	return func(o *runOptions) { o.rt.Restore = snapshot }
+}
+
+// gather folds the options into the shared job request shape.
+func gather(p *Program, cfg Config, opts []RunOption) *runOptions {
+	o := &runOptions{}
+	for _, opt := range opts {
+		opt(o)
+	}
+	o.spec.Op = job.OpSimulate
+	o.spec.Program = p
+	o.spec.Config = cfg
+	return o
 }
 
 // Interpret runs a program on the functional simulator (the oracle all
@@ -265,27 +276,15 @@ func RestoreFrom(snapshot []byte) RunOption {
 // WithMaxInstrs (default DefaultMaxInstrs) and ignores timing-only
 // options.
 func Interpret(p *Program, opts ...RunOption) (*InterpResult, error) {
-	var o runOptions
-	for _, opt := range opts {
-		opt(&o)
-	}
-	return interpret(p, o.stdin, o.maxInstrs)
-}
-
-func interpret(p *Program, stdin io.Reader, maxInstrs uint64) (*InterpResult, error) {
-	if maxInstrs == 0 {
-		maxInstrs = DefaultMaxInstrs
-	}
-	env := interp.NewSysEnv()
-	env.In = stdin
-	m := interp.NewMachine(p, env)
-	if err := m.Run(maxInstrs); err != nil {
+	o := gather(p, Config{}, opts)
+	res, err := job.RunOracle(p, o.rt.Stdin, o.spec.MaxInstrs)
+	if err != nil {
 		return nil, err
 	}
 	return &InterpResult{
-		Out:          env.Out.String(),
-		ExitCode:     env.ExitCode,
-		Instructions: m.ICount,
+		Out:          res.Out,
+		ExitCode:     res.ExitCode,
+		Instructions: res.ICount,
 	}, nil
 }
 
@@ -309,102 +308,25 @@ func ScalarConfig(width int, outOfOrder bool) Config {
 // configuration requires the descriptors. Options attach a trace sink,
 // program input, run bounds, and oracle verification.
 func Run(p *Program, cfg Config, opts ...RunOption) (*Result, error) {
-	var o runOptions
-	for _, opt := range opts {
-		opt(&o)
-	}
-	if o.sink != nil {
-		cfg.Sink = o.sink
-	}
-	if o.maxCycles > 0 {
-		cfg.MaxCycles = o.maxCycles
-	}
-
-	stdin := o.stdin
-	var oracle *InterpResult
-	if o.verify {
-		// The oracle and the timing run must read the same input, so a
-		// one-shot reader is slurped and each run gets its own view.
-		var input []byte
-		if o.stdin != nil {
-			var err error
-			if input, err = io.ReadAll(o.stdin); err != nil {
-				return nil, fmt.Errorf("multiscalar: reading stdin for verification: %w", err)
-			}
-			stdin = bytes.NewReader(input)
-		}
-		var oin io.Reader
-		if input != nil {
-			oin = bytes.NewReader(input)
-		}
-		var err error
-		if oracle, err = interpret(p, oin, o.maxInstrs); err != nil {
-			return nil, err
-		}
-	}
-
-	env := interp.NewSysEnv()
-	env.In = stdin
-	var res *Result
-	var err error
-	if cfg.NumUnits <= 1 && len(p.Tasks) == 0 {
-		s := core.NewScalar(p, env, cfg)
-		if o.chkSave != nil {
-			s.ScheduleCheckpoint(o.chkCycle, func() error {
-				snap, err := s.Save()
-				if err != nil {
-					return err
-				}
-				return o.chkSave(snap)
-			})
-		}
-		if o.restore != nil {
-			if err := s.Restore(o.restore); err != nil {
-				return nil, err
-			}
-		}
-		res, err = s.Run()
-	} else {
-		var m *core.Multiscalar
-		if m, err = core.NewMultiscalar(p, env, cfg); err == nil {
-			if o.chkSave != nil {
-				m.ScheduleCheckpoint(o.chkCycle, func() error {
-					snap, err := m.Save()
-					if err != nil {
-						return err
-					}
-					return o.chkSave(snap)
-				})
-			}
-			if o.restore != nil {
-				if err := m.Restore(o.restore); err != nil {
-					return nil, err
-				}
-			}
-			res, err = m.Run()
-		}
-	}
+	o := gather(p, cfg, opts)
+	out, err := job.Execute(&o.spec, &o.rt)
 	if err != nil {
 		return nil, err
 	}
-	if oracle != nil {
-		if res.Out != oracle.Out {
-			return nil, fmt.Errorf("multiscalar: output diverged from oracle: %q vs %q", res.Out, oracle.Out)
-		}
-		if res.Committed != oracle.Instructions {
-			return nil, fmt.Errorf("multiscalar: committed %d instructions, oracle executed %d",
-				res.Committed, oracle.Instructions)
-		}
-	}
-	return res, nil
+	return out.Result, nil
 }
 
 // RunScalar simulates a scalar-mode binary on the baseline processor.
 //
 // Deprecated: use Run with a ScalarConfig.
 func RunScalar(p *Program, cfg Config) (*Result, error) {
-	env := interp.NewSysEnv()
-	return core.NewScalar(p, env, cfg).Run()
+	out, err := job.Execute(&job.Spec{
+		Op: job.OpSimulate, Machine: job.MachineScalar, Program: p, Config: cfg,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return out.Result, nil
 }
 
 // RunMultiscalar simulates a multiscalar binary (it must carry task
@@ -412,12 +334,13 @@ func RunScalar(p *Program, cfg Config) (*Result, error) {
 //
 // Deprecated: use Run.
 func RunMultiscalar(p *Program, cfg Config) (*Result, error) {
-	env := interp.NewSysEnv()
-	m, err := core.NewMultiscalar(p, env, cfg)
+	out, err := job.Execute(&job.Spec{
+		Op: job.OpSimulate, Machine: job.MachineMultiscalar, Program: p, Config: cfg,
+	}, nil)
 	if err != nil {
 		return nil, err
 	}
-	return m.Run()
+	return out.Result, nil
 }
 
 // Verify runs a program on the oracle and the given machine configuration
@@ -426,6 +349,59 @@ func RunMultiscalar(p *Program, cfg Config) (*Result, error) {
 // Deprecated: use Run(p, cfg, WithVerify()).
 func Verify(p *Program, cfg Config) (*Result, error) {
 	return Run(p, cfg, WithVerify())
+}
+
+// Simulation as a service (docs/serve.md). A JobSpec is the first-class
+// request shape behind Run and the msserve daemon: the program (inline,
+// as source text, or as a suite workload name), the Config, the input
+// bytes, run bounds, and the artifacts to return. It has a canonical
+// versioned encoding and a stable content-addressed Key, which every
+// result cache in the system — the bench harness's memos, msserve, and
+// SubmitJob's process-wide engine — keys on.
+
+// JobSpec is one unit of simulation-service work.
+type JobSpec = job.Spec
+
+// Job operations and machine selectors.
+const (
+	JobSimulate = job.OpSimulate
+	JobAssemble = job.OpAssemble
+
+	JobMachineAuto        = job.MachineAuto
+	JobMachineScalar      = job.MachineScalar
+	JobMachineMultiscalar = job.MachineMultiscalar
+)
+
+// JobResult is a job's outcome: the result payload plus whether this
+// submission was answered from the content-addressed cache.
+type JobResult = serve.Result
+
+// JobEngine is the transport-agnostic job service interface msserve's
+// HTTP layer and SubmitJob share; NewJobEngine builds one.
+type JobEngine = serve.Engine
+
+// JobEngineOptions configures NewJobEngine.
+type JobEngineOptions = serve.Options
+
+// NewJobEngine builds a job engine: a content-addressed result cache
+// (LRU + single-flight + optional disk spill) over a fair-queued
+// executor. Most callers want SubmitJob; a daemon wants cmd/msserve.
+func NewJobEngine(o JobEngineOptions) JobEngine { return serve.NewLocal(o) }
+
+// defaultJobEngine serves SubmitJob: one process-wide in-memory engine.
+var defaultJobEngine = struct {
+	once sync.Once
+	e    JobEngine
+}{}
+
+// SubmitJob runs a job on the process-wide engine. Duplicate
+// submissions — equal JobSpec keys — are answered from the cache with
+// byte-identical payloads and Cached set.
+func SubmitJob(ctx context.Context, spec JobSpec) (*JobResult, error) {
+	defaultJobEngine.once.Do(func() {
+		defaultJobEngine.e = serve.NewLocal(serve.Options{})
+	})
+	return defaultJobEngine.e.Submit(ctx, "local", &spec)
 }
 
 // Event tracing (docs/tracing.md). WithTrace accepts any TraceSink: a

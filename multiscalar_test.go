@@ -2,6 +2,7 @@ package multiscalar_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -108,6 +109,45 @@ func TestFacadeDeprecatedWrappers(t *testing.T) {
 	}
 	if res, err := multiscalar.Verify(prog, multiscalar.DefaultConfig(4, 1, false)); err != nil || res.Out != "1275" {
 		t.Fatalf("Verify = %+v, %v", res, err)
+	}
+}
+
+// TestFacadeSubmitJob drives the job facade: a JobSpec submitted twice
+// is answered from the content-addressed cache the second time, and the
+// cached result agrees with a direct Run of the same program and config.
+func TestFacadeSubmitJob(t *testing.T) {
+	cfg := multiscalar.DefaultConfig(4, 1, false)
+	spec := multiscalar.JobSpec{
+		Op:     multiscalar.JobSimulate,
+		Source: apiDemo,
+		Mode:   multiscalar.ModeMultiscalar,
+		Config: cfg,
+		Verify: true,
+	}
+	ctx := context.Background()
+	first, err := multiscalar.SubmitJob(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached || first.Sim == nil || first.Sim.Out != "1275" {
+		t.Fatalf("first submission: %+v", first)
+	}
+	again, err := multiscalar.SubmitJob(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Key != first.Key || again.Sim.Cycles != first.Sim.Cycles {
+		t.Fatalf("resubmission not cached: %+v vs %+v", again, first)
+	}
+
+	direct, err := multiscalar.Run(mustAssemble(t, apiDemo, multiscalar.ModeMultiscalar), cfg,
+		multiscalar.WithVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Cycles != first.Sim.Cycles || direct.Committed != first.Sim.Committed {
+		t.Fatalf("job result diverged from direct Run: %d/%d cycles, %d/%d committed",
+			first.Sim.Cycles, direct.Cycles, first.Sim.Committed, direct.Committed)
 	}
 }
 
