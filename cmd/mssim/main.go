@@ -134,9 +134,10 @@ func main() {
 	}
 	fmt.Printf("memory:       %d icache misses, %d dcache misses, %d bank conflicts, %d bus requests\n",
 		res.ICacheMisses, res.DCacheMisses, res.DBankConflicts, res.BusRequests)
-	if res.ARBViolations+res.ARBStoreForwards > 0 {
-		fmt.Printf("arb:          %d violations, %d store-forwards, %d overflows\n",
-			res.ARBViolations, res.ARBStoreForwards, res.ARBOverflows)
+	if res.ARBViolations+res.ARBStoreForwards+res.ARBAllocs > 0 {
+		fmt.Printf("arb:          %d violations, %d store-forwards, %d overflows, %d allocs, %d peak-bank-occupancy\n",
+			res.ARBViolations, res.ARBStoreForwards, res.ARBOverflows,
+			res.ARBAllocs, res.ARBPeakOccupancy)
 	}
 	if *stats {
 		skipped := res.Cycles - res.CyclesTicked

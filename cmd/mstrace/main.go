@@ -178,6 +178,10 @@ func outcome(t *trace.TaskSummary) string {
 		}
 		return fmt.Sprintf("retire %d", t.Instrs)
 	}
+	if t.HasConflict {
+		return fmt.Sprintf("squash %s d=%d addr=0x%x bank=%d",
+			trace.CauseName(t.SquashCause), t.SquashDist, t.SquashAddr, t.SquashBank)
+	}
 	return fmt.Sprintf("squash %s d=%d", trace.CauseName(t.SquashCause), t.SquashDist)
 }
 

@@ -93,6 +93,58 @@ type ARB struct {
 	StoreForwards uint64 // load bytes supplied by a buffered store
 	LoadsTracked  uint64
 	StoresTracked uint64
+
+	// bankStats[i] are bank i's lifetime counters, maintained inline on
+	// the alloc/store paths so they are available without a trace sink
+	// attached (Stats copies them out).
+	bankStats []BankStats
+}
+
+// BankStats are one ARB bank's lifetime counters.
+type BankStats struct {
+	Allocs       uint64 // entries allocated (first touch of a chunk)
+	Overflows    uint64 // allocation attempts refused for lack of a free entry
+	Violations   uint64 // memory-order violations detected on this bank's chunks
+	MaxOccupancy int    // peak entries simultaneously resident
+}
+
+// Stats is the ARB's counter surface: the aggregate totals plus the
+// per-bank breakdown. Banks is a copy — callers may keep it.
+type Stats struct {
+	Banks []BankStats
+
+	Allocs        uint64
+	Overflows     uint64
+	Violations    uint64
+	StoreForwards uint64
+	LoadsTracked  uint64
+	StoresTracked uint64
+
+	// MaxOccupancy is the peak occupancy of any single bank — the
+	// capacity headroom figure the stress fuzzer reports against
+	// EntriesPerBank.
+	MaxOccupancy int
+}
+
+// Stats snapshots the ARB's counters: aggregates plus the per-bank
+// breakdown the litmus stressor and mstrace report without needing a
+// trace sink on the run.
+func (a *ARB) Stats() Stats {
+	s := Stats{
+		Banks:         append([]BankStats(nil), a.bankStats...),
+		Violations:    a.Violations,
+		Overflows:     a.Overflows,
+		StoreForwards: a.StoreForwards,
+		LoadsTracked:  a.LoadsTracked,
+		StoresTracked: a.StoresTracked,
+	}
+	for _, b := range a.bankStats {
+		s.Allocs += b.Allocs
+		if b.MaxOccupancy > s.MaxOccupancy {
+			s.MaxOccupancy = b.MaxOccupancy
+		}
+	}
+	return s
 }
 
 // New builds an ARB. numBanks and entriesPerBank mirror the data-cache
@@ -113,6 +165,7 @@ func New(numUnits, numBanks, entriesPerBank int, policy OverflowPolicy) *ARB {
 		a.bankMask = numBanks - 1
 	}
 	a.touchLists = make([][]*entry, numUnits)
+	a.bankStats = make([]BankStats, numBanks)
 	return a
 }
 
@@ -217,18 +270,24 @@ func (a *ARB) find(chunk uint32) *entry {
 // alloc returns the entry for a chunk, allocating it if needed. ok=false
 // means the bank is full (the caller applies the overflow policy).
 func (a *ARB) alloc(chunk uint32) (*entry, bool) {
-	bank := &a.banks[a.bankOf(chunk)]
+	bi := a.bankOf(chunk)
+	bank := &a.banks[bi]
 	if e := bank.find(chunk); e != nil {
 		return e, true
 	}
 	if len(bank.keys) >= a.EntriesPerBank {
 		a.Overflows++
+		a.bankStats[bi].Overflows++
 		if a.Sink != nil {
 			a.Sink.Emit(trace.Event{Cycle: a.Now, Kind: trace.KARBOverflow, Unit: -1, Task: -1, Arg: chunk * chunkBytes})
 		}
 		return nil, false
 	}
 	e := bank.take(chunk)
+	a.bankStats[bi].Allocs++
+	if occ := len(bank.keys); occ > a.bankStats[bi].MaxOccupancy {
+		a.bankStats[bi].MaxOccupancy = occ
+	}
 	if a.Sink != nil {
 		a.Sink.Emit(trace.Event{Cycle: a.Now, Kind: trace.KARBAlloc, Unit: -1, Task: -1, Arg: chunk * chunkBytes})
 	}
@@ -354,6 +413,7 @@ func (a *ARB) Store(unit, head, active int, addr uint32, size int, value uint64)
 	}
 	if violator >= 0 {
 		a.Violations++
+		a.bankStats[a.bankOf(chunk)].Violations++
 		if a.Sink != nil {
 			a.Sink.Emit(trace.Event{Cycle: a.Now, Kind: trace.KARBViolation, Unit: int8(violator), Task: -1, Arg: addr})
 		}
@@ -464,6 +524,13 @@ func (a *ARB) Occupancy() int {
 	return n
 }
 
+// BankIndex returns the bank an address maps to — the pow2 mask or
+// modulo mapping Load/Store use internally, exported so squash events
+// and litmus repro artifacts can name the conflicting bank.
+func (a *ARB) BankIndex(addr uint32) int {
+	return a.bankOf(addr / chunkBytes)
+}
+
 // BankFull reports whether the bank holding addr has no free entries and
 // no existing entry for that address — i.e. a new operation there would
 // overflow.
@@ -486,4 +553,7 @@ func (a *ARB) Reset() {
 	}
 	a.Violations, a.Overflows, a.StoreForwards = 0, 0, 0
 	a.LoadsTracked, a.StoresTracked = 0, 0
+	for i := range a.bankStats {
+		a.bankStats[i] = BankStats{}
+	}
 }

@@ -407,3 +407,64 @@ func TestRandomizedSequentialEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestPerBankStats pins the Stats() surface the litmus stressor
+// reports: allocs, overflows, violations, and peak occupancy are
+// attributed to the bank that owns the chunk, and the aggregates stay
+// consistent with the flat lifetime counters.
+func TestPerBankStats(t *testing.T) {
+	a, m := newTestARB(4, PolicyStall)
+	a.EntriesPerBank = 2
+	// Two entries in bank 0 (chunks 0 and 4), then a refused third.
+	a.Store(1, 0, 4, 0*8, 4, 1)
+	a.Store(1, 0, 4, 4*8, 4, 2)
+	if res := a.Store(1, 0, 4, 8*8, 4, 3); !res.Overflow {
+		t.Fatal("expected overflow in bank 0")
+	}
+	// One entry in bank 1.
+	a.Store(1, 0, 4, 1*8, 4, 4)
+	// A violation in bank 2: unit 2 loads, then unit 1 stores the
+	// same word.
+	a.Load(2, 0, 4, 2*8, 4, m)
+	if res := a.Store(1, 0, 4, 2*8, 4, 5); res.Violator != 2 {
+		t.Fatalf("Violator = %d, want 2", res.Violator)
+	}
+
+	s := a.Stats()
+	if got := a.BankIndex(2 * 8); got != 2 {
+		t.Errorf("BankIndex(0x10) = %d, want 2", got)
+	}
+	want := []BankStats{
+		{Allocs: 2, Overflows: 1, MaxOccupancy: 2},
+		{Allocs: 1, MaxOccupancy: 1},
+		{Allocs: 1, Violations: 1, MaxOccupancy: 1},
+		{},
+	}
+	for i, w := range want {
+		if s.Banks[i] != w {
+			t.Errorf("bank %d stats = %+v, want %+v", i, s.Banks[i], w)
+		}
+	}
+	if s.Allocs != 4 || s.MaxOccupancy != 2 {
+		t.Errorf("aggregate Allocs=%d MaxOccupancy=%d, want 4, 2", s.Allocs, s.MaxOccupancy)
+	}
+	if s.Overflows != a.Overflows || s.Violations != a.Violations {
+		t.Errorf("aggregates diverge from lifetime counters: %+v", s)
+	}
+	// Per-bank overflow/violation sums match the flat counters.
+	var ov, vi uint64
+	for _, b := range s.Banks {
+		ov += b.Overflows
+		vi += b.Violations
+	}
+	if ov != a.Overflows || vi != a.Violations {
+		t.Errorf("per-bank sums ov=%d vi=%d, flat ov=%d vi=%d", ov, vi, a.Overflows, a.Violations)
+	}
+
+	a.Reset()
+	for i, b := range a.Stats().Banks {
+		if b != (BankStats{}) {
+			t.Errorf("bank %d stats not reset: %+v", i, b)
+		}
+	}
+}

@@ -46,6 +46,12 @@ func (a *ARB) SaveState(e *snapshot.Encoder) {
 	e.U64(a.StoreForwards)
 	e.U64(a.LoadsTracked)
 	e.U64(a.StoresTracked)
+	for i := range a.bankStats {
+		e.U64(a.bankStats[i].Allocs)
+		e.U64(a.bankStats[i].Overflows)
+		e.U64(a.bankStats[i].Violations)
+		e.U64(uint64(a.bankStats[i].MaxOccupancy))
+	}
 }
 
 // LoadState restores the ARB contents into an ARB constructed with
@@ -112,4 +118,15 @@ func (a *ARB) LoadState(d *snapshot.Decoder) {
 	a.StoreForwards = d.U64()
 	a.LoadsTracked = d.U64()
 	a.StoresTracked = d.U64()
+	for i := range a.bankStats {
+		a.bankStats[i].Allocs = d.U64()
+		a.bankStats[i].Overflows = d.U64()
+		a.bankStats[i].Violations = d.U64()
+		occ := d.U64()
+		if d.Err() == nil && occ > uint64(a.EntriesPerBank) {
+			d.Failf("arb: bank %d max occupancy %d exceeds capacity %d", i, occ, a.EntriesPerBank)
+			return
+		}
+		a.bankStats[i].MaxOccupancy = int(occ)
+	}
 }

@@ -33,7 +33,7 @@ func (e *msExt) Load(now uint64, op isa.Op, addr uint32) (interp.Value, uint64, 
 	res := m.arb.Load(e.id, m.head, m.active, addr, op.MemSize(), m.backing)
 	if res.Overflow {
 		if m.arb.Policy == arb.PolicySquash {
-			m.arbOverflowSquash(now)
+			m.arbOverflowSquash(now, addr)
 		}
 		return interp.Value{}, 0, false // retry next cycle
 	}
@@ -55,7 +55,7 @@ func (e *msExt) Store(now uint64, op isa.Op, addr uint32, v interp.Value) (uint6
 			return done, true
 		}
 		if m.arb.Policy == arb.PolicySquash {
-			m.arbOverflowSquash(now)
+			m.arbOverflowSquash(now, addr)
 		}
 		return 0, false
 	}
@@ -63,6 +63,7 @@ func (e *msExt) Store(now uint64, op isa.Op, addr uint32, v interp.Value) (uint6
 		// Record the distance-earliest violator seen this cycle.
 		if m.viol < 0 || m.dist(res.Violator) < m.dist(m.viol) {
 			m.viol = res.Violator
+			m.violAddr = addr
 		}
 	}
 	done := m.dbanks.Access(now, addr, true)

@@ -92,8 +92,10 @@ type Multiscalar struct {
 	sendBusy []uint64
 
 	// Violation found during the current cycle's sweep (unit index, -1
-	// none).
-	viol int
+	// none) and the store address that exposed it, for the squash
+	// event's conflict detail.
+	viol     int
+	violAddr uint32
 
 	// archRegs is the committed register state as of the most recently
 	// retired task; it seeds the register file of newly assigned tasks.
@@ -394,11 +396,17 @@ func (m *Multiscalar) foldActivity(unit int, retired bool) {
 	}
 }
 
+// ARBStats exposes the ARB's counter surface — aggregates plus the
+// per-bank breakdown — for callers that own the machine (the litmus
+// stress fuzzer's histograms). Result carries the aggregate totals.
+func (m *Multiscalar) ARBStats() arb.Stats { return m.arb.Stats() }
+
 func (m *Multiscalar) result() *Result {
 	var imiss uint64
 	for _, ic := range m.icaches {
 		imiss += ic.Misses
 	}
+	astats := m.arb.Stats()
 	return &Result{
 		Cycles:           m.now,
 		CyclesTicked:     m.ticked,
@@ -422,5 +430,7 @@ func (m *Multiscalar) result() *Result {
 		ARBViolations:    m.arb.Violations,
 		ARBOverflows:     m.arb.Overflows,
 		ARBStoreForwards: m.arb.StoreForwards,
+		ARBAllocs:        astats.Allocs,
+		ARBPeakOccupancy: astats.MaxOccupancy,
 	}
 }

@@ -445,6 +445,7 @@ func (m *Multiscalar) validateOne(dist int, ts *taskState, actual uint32, outcom
 func (m *Multiscalar) memoryViolationSquash(now uint64) {
 	m.progress = true
 	w := m.viol
+	addr := m.violAddr
 	m.viol = -1
 	if !m.withinActive(w) || m.dist(w) == 0 {
 		return // stale (already squashed) or impossible
@@ -456,7 +457,8 @@ func (m *Multiscalar) memoryViolationSquash(now uint64) {
 		m.tasksSquashed++
 		if m.sink != nil {
 			m.sink.Emit(trace.Event{Cycle: now, Kind: trace.KTaskSquash, Unit: int8(q),
-				Task: m.tasks[q].seq, Arg: trace.CauseMemory, Arg2: uint64(d)})
+				Task: m.tasks[q].seq, Arg: trace.CauseMemory,
+				Arg2: trace.SquashArg2(uint64(d), addr, m.arb.BankIndex(addr))})
 		}
 		m.arb.ClearUnit(q)
 		m.units[q].Squash()
@@ -479,7 +481,7 @@ func (m *Multiscalar) memoryViolationSquash(now uint64) {
 
 // arbOverflowSquash frees ARB space under PolicySquash by squashing the
 // youngest task. Returns true if something was squashed.
-func (m *Multiscalar) arbOverflowSquash(now uint64) bool {
+func (m *Multiscalar) arbOverflowSquash(now uint64, addr uint32) bool {
 	if m.active <= 1 {
 		return false // never squash the head
 	}
@@ -490,7 +492,8 @@ func (m *Multiscalar) arbOverflowSquash(now uint64) bool {
 	m.arbSquashes++
 	if m.sink != nil {
 		m.sink.Emit(trace.Event{Cycle: now, Kind: trace.KTaskSquash, Unit: int8(tail),
-			Task: m.tasks[tail].seq, Arg: trace.CauseARB, Arg2: uint64(m.active - 1)})
+			Task: m.tasks[tail].seq, Arg: trace.CauseARB,
+			Arg2: trace.SquashArg2(uint64(m.active-1), addr, m.arb.BankIndex(addr))})
 	}
 	m.arb.ClearUnit(tail)
 	m.units[tail].Squash()

@@ -194,6 +194,7 @@ func (m *Multiscalar) Save() ([]byte, error) {
 		e.U64(m.sendBusy[i])
 	}
 	e.Int(m.viol)
+	e.U32(m.violAddr)
 	saveRegs(e, &m.archRegs)
 	e.U64(m.sharedFUAt)
 	e.Int(m.sharedFUUsed[0])
@@ -281,6 +282,7 @@ func (m *Multiscalar) Restore(data []byte) error {
 		m.sendBusy[i] = d.U64()
 	}
 	m.viol = d.Int()
+	m.violAddr = d.U32()
 	loadRegs(d, &m.archRegs)
 	m.sharedFUAt = d.U64()
 	m.sharedFUUsed[0] = d.Int()

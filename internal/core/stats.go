@@ -56,6 +56,11 @@ type Result struct {
 	ARBViolations    uint64
 	ARBOverflows     uint64
 	ARBStoreForwards uint64
+	ARBAllocs        uint64 // entries allocated across all banks
+	// ARBPeakOccupancy is the peak entries simultaneously resident in
+	// any single bank — headroom against Config.ARBEntries. The
+	// per-bank breakdown is Multiscalar.ARBStats().
+	ARBPeakOccupancy int
 }
 
 // IPC is committed instructions per cycle.

@@ -5,13 +5,16 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
+	"multiscalar/internal/arb"
 	"multiscalar/internal/asm"
 	"multiscalar/internal/core"
 	"multiscalar/internal/interp"
 	"multiscalar/internal/isa"
+	"multiscalar/internal/litmus"
 	"multiscalar/internal/snapshot"
 	"multiscalar/internal/trace"
 	"multiscalar/internal/workloads"
@@ -413,4 +416,95 @@ func TestPeek(t *testing.T) {
 	if _, err := snapshot.Peek([]byte("short")); err == nil {
 		t.Error("Peek(short) = nil error")
 	}
+}
+
+// TestAdversarialCycleRoundTrip aims checkpoints at the nastiest
+// cycles a snapshot can capture instead of random ones: cycles where a
+// squash was just emitted (mid-squash window: units restarting,
+// sentMask and touch lists partially rebuilt) and cycles where an ARB
+// bank was refused an allocation (banks at capacity) — exactly the
+// machine states litmus repro artifacts record. The litmus shapes
+// drive the machine there deliberately: a capacity-1 ARB under both
+// overflow policies. Resumed Results must stay DeepEqual, per-bank
+// counters included.
+func TestAdversarialCycleRoundTrip(t *testing.T) {
+	var progs []*litmus.Program
+	for _, params := range []litmus.Params{
+		{Shape: "sb", Pad: 128},  // X and Y in the same bank: capacity overflows
+		{Shape: "xviol"},         // guaranteed cross-task violation squash
+		{Shape: "rand", Seed: 3}, // both, interleaved
+	} {
+		p, err := litmus.Generate(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, p)
+	}
+	for _, pol := range []arb.OverflowPolicy{arb.PolicyStall, arb.PolicySquash} {
+		var sawSquash, sawOverflow bool
+		for _, p := range progs {
+			cfg := core.DefaultConfig(4, 2, true)
+			cfg.ARBEntries = 1
+			cfg.ARBPolicy = pol
+
+			// One traced run finds the adversarial cycles; one
+			// untraced run pins the reference Result.
+			col := &trace.Collector{}
+			traced := cfg
+			traced.Sink = col
+			runMulti(t, p.Prog, traced)
+			full := runMulti(t, p.Prog, cfg)
+
+			var cands []uint64
+			for _, e := range col.Events {
+				switch e.Kind {
+				case trace.KTaskSquash:
+					// The squash cycle and the restart cycle after it.
+					cands = append(cands, e.Cycle, e.Cycle+1)
+					sawSquash = true
+				case trace.KARBOverflow:
+					cands = append(cands, e.Cycle)
+					sawOverflow = true
+				}
+			}
+			for _, at := range sampleCycles(cands, full.Cycles, 8) {
+				got := interruptAndResume(t, p.Prog, cfg, at)
+				if !reflect.DeepEqual(got, full) {
+					t.Errorf("%s policy=%d checkpoint@%d: resumed result differs\ngot  %+v\nwant %+v",
+						p.Name, pol, at, got, full)
+				}
+			}
+		}
+		// Stalling serializes the racing accesses instead of squashing,
+		// so mid-squash states are only reachable under PolicySquash;
+		// banks-at-capacity states must show up under both policies.
+		if !sawOverflow {
+			t.Errorf("policy=%d: no ARB overflow cycles — shapes no longer fill capacity-1 banks", pol)
+		}
+		if pol == arb.PolicySquash && !sawSquash {
+			t.Errorf("policy=%d: no squash cycles — shapes no longer provoke squashes", pol)
+		}
+	}
+}
+
+// sampleCycles dedups candidate cycles, keeps those inside (0, limit),
+// and spreads at most n picks across the sorted remainder.
+func sampleCycles(cands []uint64, limit uint64, n int) []uint64 {
+	seen := map[uint64]bool{}
+	var cs []uint64
+	for _, c := range cands {
+		if c > 0 && c < limit && !seen[c] {
+			seen[c] = true
+			cs = append(cs, c)
+		}
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	if len(cs) <= n {
+		return cs
+	}
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, cs[i*len(cs)/n])
+	}
+	return out
 }

@@ -34,7 +34,7 @@ import (
 const magic = "MSSNAP"
 
 // Version is the current snapshot format version.
-const Version = 1
+const Version = 2
 
 // Machine kinds, stored in the header so a snapshot cannot be fed to
 // the wrong Restore.

@@ -42,8 +42,11 @@ const (
 	// Arg2 the instructions it committed.
 	KTaskRetire
 	// KTaskSquash: the activation was squashed; Arg is the Cause*
-	// code, Arg2 the unit's distance from the head when squashed (the
-	// restart distance: how much of the window the squash discarded).
+	// code. Arg2 packs the unit's distance from the head when squashed
+	// (the restart distance: how much of the window the squash
+	// discarded) and, for memory and ARB causes, the conflicting
+	// address and its ARB bank — build with SquashArg2, read with
+	// SquashDist and SquashConflict.
 	KTaskSquash
 	// KTaskActivity: end-of-activation cycle accounting, one event per
 	// non-zero activity class. Arg is the class (the pu.Activity value)
@@ -154,6 +157,44 @@ func CauseName(c uint32) string {
 // ActivitySquashed is the KTaskActivity.Arg flag marking cycles that
 // belong to a squashed activation.
 const ActivitySquashed = 1 << 8
+
+// KTaskSquash.Arg2 layout: bits 0-7 restart distance, bits 8-15 the
+// conflicting address's ARB bank plus one (0 = no conflict detail:
+// control and drain squashes encode to the bare distance, identical
+// to the pre-detail format), bits 16-47 the conflicting address. The
+// conflict detail names the access that triggered a memory-violation
+// or ARB-overflow squash so litmus repro dumps can point at it.
+const (
+	squashDistBits = 8
+	squashBankBits = 8
+	squashDistMask = 1<<squashDistBits - 1
+	squashBankMask = 1<<squashBankBits - 1
+)
+
+// SquashArg2 packs a KTaskSquash Arg2. bank < 0 means no conflict
+// detail (control or drain squash).
+func SquashArg2(dist uint64, addr uint32, bank int) uint64 {
+	v := dist & squashDistMask
+	if bank >= 0 {
+		v |= uint64((bank+1)&squashBankMask) << squashDistBits
+		v |= uint64(addr) << (squashDistBits + squashBankBits)
+	}
+	return v
+}
+
+// SquashDist extracts the restart distance from a KTaskSquash Arg2.
+func SquashDist(arg2 uint64) uint64 { return arg2 & squashDistMask }
+
+// SquashConflict extracts the conflicting address and ARB bank from a
+// KTaskSquash Arg2; ok is false when the event carries no conflict
+// detail (control and drain squashes).
+func SquashConflict(arg2 uint64) (addr uint32, bank int, ok bool) {
+	b := arg2 >> squashDistBits & squashBankMask
+	if b == 0 {
+		return 0, 0, false
+	}
+	return uint32(arg2 >> (squashDistBits + squashBankBits)), int(b - 1), true
+}
 
 // Event is one cycle-stamped occurrence. The meaning of Unit, Task, Arg
 // and Arg2 depends on Kind (see the Kind constants); Unit is -1 and Task

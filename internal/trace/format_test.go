@@ -151,3 +151,27 @@ func TestSummarize(t *testing.T) {
 		t.Errorf("task 1 spans = %+v", t1.Spans)
 	}
 }
+
+func TestSquashArg2PackUnpack(t *testing.T) {
+	// No conflict detail: encodes to the bare distance (the
+	// pre-detail format) and reads back without a conflict.
+	if v := SquashArg2(3, 0, -1); v != 3 {
+		t.Fatalf("SquashArg2(3,0,-1) = %d, want 3", v)
+	}
+	if _, _, ok := SquashConflict(3); ok {
+		t.Fatal("bare distance should carry no conflict")
+	}
+	// With detail: distance, address and bank all round-trip.
+	v := SquashArg2(7, 0x1000_2004, 5)
+	if d := SquashDist(v); d != 7 {
+		t.Errorf("SquashDist = %d, want 7", d)
+	}
+	addr, bank, ok := SquashConflict(v)
+	if !ok || addr != 0x1000_2004 || bank != 5 {
+		t.Errorf("SquashConflict = (0x%x, %d, %v), want (0x10002004, 5, true)", addr, bank, ok)
+	}
+	// Bank 0 is distinguishable from "no detail".
+	if _, bank, ok := SquashConflict(SquashArg2(1, 0x10000000, 0)); !ok || bank != 0 {
+		t.Errorf("bank 0 conflict = (%d, %v), want (0, true)", bank, ok)
+	}
+}

@@ -35,6 +35,12 @@ type TaskSummary struct {
 	SquashCause uint32 // cause of the final squash (non-retired tasks)
 	SquashDist  uint64 // distance from the head at that squash
 
+	// Conflicting access behind the final squash (memory and ARB
+	// causes; HasConflict false otherwise — see SquashConflict).
+	SquashAddr  uint32
+	SquashBank  int
+	HasConflict bool
+
 	// Activity decomposes the task's unit-cycles by class exactly as the
 	// simulator accumulates Result.Activity: cycles of retired
 	// activations land in Activity[class], cycles of squashed
@@ -108,7 +114,8 @@ func Summarize(tr *Trace) *Summary {
 			t := get(e)
 			t.EndCycle = e.Cycle
 			t.SquashCause = e.Arg
-			t.SquashDist = e.Arg2
+			t.SquashDist = SquashDist(e.Arg2)
+			t.SquashAddr, t.SquashBank, t.HasConflict = SquashConflict(e.Arg2)
 			closeSpan(t, e.Cycle, true, e.Arg)
 		case KTaskActivity:
 			t := get(e)
