@@ -20,6 +20,9 @@
 //	msbench -all -noskip          force the dense per-cycle simulation loop
 //	msbench -sections table3,sweep
 //	                              run an arbitrary subset of sections by name
+//	msbench -sampled -sample-gate 10
+//	                              sampled-simulation estimates vs exact long
+//	                              runs (not part of -all; docs/perf.md)
 //	msbench -all -json out.json -baseline BENCH.json -tolerance 0.25
 //	                              compare per-section wall clock against a
 //	                              checked-in baseline; exit 1 on regression
@@ -49,6 +52,8 @@ func main() {
 		breakdown  = flag.Bool("breakdown", false, "print the Section 3 cycle distribution")
 		ablate     = flag.Bool("ablate", false, "run the ablation sweeps")
 		annotate   = flag.Bool("annotate", false, "compare hand annotations against the optimizer's (not part of -all; see docs/annotate.md)")
+		sampled    = flag.Bool("sampled", false, "compare sampled-simulation estimates against exact long runs (not part of -all; see docs/perf.md)")
+		sampleGate = flag.Float64("sample-gate", 0, "with -sampled: exit 1 unless every workload's exact cycles land in the 95% CI and detailed cycles shrink by at least this factor")
 		sweep      = flag.Bool("sweep", false, "print speedup-vs-units curves (figure-style view)")
 		mix        = flag.Bool("mix", false, "print the dynamic instruction mix of the benchmarks")
 		units      = flag.Int("units", 8, "unit count for -breakdown")
@@ -148,6 +153,26 @@ func main() {
 			rows, err := bench.AnnotateAblation(scale)
 			check(err)
 			fmt.Println(bench.FormatAnnotate(rows))
+		})
+		ran = true
+	}
+	// Also not part of -all, for the same byte-identity reason: sampled
+	// runs are estimates, never inputs to the paper tables.
+	if *sampled || want("sampled") {
+		report.Time("sampled", func() {
+			rows, err := bench.RunSampled(scale)
+			check(err)
+			fmt.Println(bench.FormatSampled(rows))
+			if *sampleGate > 0 {
+				if fails := bench.GateSampled(rows, *sampleGate); len(fails) > 0 {
+					fmt.Fprintln(os.Stderr, "msbench: sampled-simulation gate failed:")
+					for _, f := range fails {
+						fmt.Fprintln(os.Stderr, "  "+f)
+					}
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "msbench: sampled gate passed (in-CI, ≥%.1fx detail reduction)\n", *sampleGate)
+			}
 		})
 		ran = true
 	}

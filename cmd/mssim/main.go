@@ -7,6 +7,8 @@
 //	mssim -w example -units 8 -width 2 -ooo
 //	mssim -f prog.s -units 0            (functional interpretation only)
 //	mssim -f prog.s -units 1            (scalar baseline)
+//	mssim -w compress -sample           (sampled estimate with a 95% CI
+//	                                    instead of an exact run; docs/perf.md)
 package main
 
 import (
@@ -37,6 +39,10 @@ func main() {
 		chkFile  = flag.String("checkpoint", "", "write a machine snapshot to this file, then continue (see -checkpoint-at)")
 		chkAt    = flag.Uint64("checkpoint-at", 0, "cycle to take the -checkpoint snapshot at")
 		restore  = flag.String("restore", "", "resume from a snapshot file (same program, scale and machine flags as the saving run)")
+		sampled  = flag.Bool("sample", false, "estimate cycles by sampled simulation instead of simulating every cycle (docs/perf.md)")
+		sWindow  = flag.Uint64("sample-window", 0, "sampled: measured instructions per detailed window (0 = derived)")
+		sWarmup  = flag.Uint64("sample-warmup", 0, "sampled: detailed warm-up instructions per window (0 = derived)")
+		sPeriod  = flag.Uint64("sample-period", 0, "sampled: instructions between window starts (0 = derived)")
 	)
 	flag.Parse()
 
@@ -91,7 +97,26 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		meta, err := multiscalar.PeekSnapshot(snap)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("snapshot:     %s (format v%d), taken at cycle %d\n",
+			multiscalar.SnapshotKindName(meta.Kind), meta.Version, meta.Cycle)
 		opts = append(opts, multiscalar.RestoreFrom(snap))
+	}
+	if *sampled {
+		est, err := multiscalar.RunSampled(prog, cfg, multiscalar.SampleParams{
+			WindowInstrs: *sWindow, WarmupInstrs: *sWarmup, PeriodInstrs: *sPeriod,
+		}, runOpts...)
+		if err != nil {
+			fatal(err)
+		}
+		printSampled(est)
+		if *showOut {
+			fmt.Printf("output: %s\n", est.Out)
+		}
+		return
 	}
 	if *mstrc != "" {
 		f, err := os.Create(*mstrc)
@@ -151,6 +176,21 @@ func main() {
 	if *showOut {
 		fmt.Printf("output: %s\n", res.Out)
 	}
+}
+
+func printSampled(est *multiscalar.SampleEstimate) {
+	fmt.Printf("sampled:      %d instrs, %d windows (window %d, warm-up %d, period %d instrs)\n",
+		est.TotalInstrs, est.Windows,
+		est.Params.WindowInstrs, est.Params.WarmupInstrs, est.Params.PeriodInstrs)
+	if est.FullDetail {
+		fmt.Printf("              run too short to sample: exact full-detail result\n")
+	}
+	fmt.Printf("cycles:       %d estimated, 95%% CI [%d, %d]\n",
+		est.EstCycles, est.CyclesLow, est.CyclesHi)
+	fmt.Printf("cpi:          %.4f mean, %.4f stderr\n", est.MeanCPI, est.StdErrCPI)
+	fmt.Printf("detail cost:  %d cycles over %d instrs (%.1f%% of the run's instructions)\n",
+		est.DetailedCycles, est.DetailedInstrs,
+		100*float64(est.DetailedInstrs)/float64(est.TotalInstrs))
 }
 
 func buildProgram(workload, file string, scale, units int) (*multiscalar.Program, error) {

@@ -46,6 +46,12 @@ type Report struct {
 	// Simulation points answered by restoring a shared finished-run
 	// snapshot instead of simulating again (docs/perf.md).
 	RunsRestored uint64 `json:"runs_restored"`
+	// Sampled-simulation work (docs/perf.md, "Sampled simulation"):
+	// estimates produced, detailed windows measured across them, and the
+	// mean per-estimate CPI variance of the window populations.
+	RunsSampled       uint64  `json:"runs_sampled"`
+	SampledWindows    uint64  `json:"sampled_windows"`
+	SampledMeanVarCPI float64 `json:"sampled_mean_var_cpi"`
 
 	// Throughput of the simulators themselves over the whole invocation.
 	MSimCyclesPerSec float64 `json:"msim_cycles_per_sec"`
@@ -91,6 +97,7 @@ func (r *Report) Finalize() ([]byte, error) {
 	}
 	r.Builds = BuildsPerformed()
 	r.RunsRestored = RunsRestored()
+	r.RunsSampled, r.SampledWindows, r.SampledMeanVarCPI = SampledTotals()
 	if r.TotalSeconds > 0 {
 		r.MSimCyclesPerSec = float64(r.SimCycles) / r.TotalSeconds / 1e6
 		r.MIPS = float64(r.SimInstructions) / r.TotalSeconds / 1e6

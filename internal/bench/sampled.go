@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/core"
+	"multiscalar/internal/job"
+	"multiscalar/internal/sample"
+	"multiscalar/internal/workloads"
+)
+
+// Sampled-simulation accuracy section (docs/perf.md, "Sampled
+// simulation"): run the suite's two longest workloads both exactly and
+// sampled at a long-run scale, and report the estimate's error, whether
+// the exact cycle count lands inside the 95% confidence interval, and
+// how many detailed cycles sampling avoided. Like -annotate, the
+// section is not part of -all so the -all output stays byte-identical
+// with the sampling engine present but unused.
+
+// Window-level parallelism inside sampled jobs rides on the same worker
+// pool as section-level parallelism.
+func init() { job.SetSampleRunner(RunJobs) }
+
+// sampledWorkloads names the two longest table workloads by multiscalar
+// dynamic instruction count at default scale (example ~378k, wc ~160k)
+// — the runs where the paper-table harness spends its cycles and where
+// the ≥10× detailed-cycle reduction claim is made.
+var sampledWorkloads = []string{"example", "wc"}
+
+// sampledScaleFactor stretches each workload's resolved scale for this
+// section. Sampling pays off on long runs (SMARTS targets billions of
+// instructions); at the suite's table scales the engine's own fallback
+// would correctly refuse to sample most workloads, so the accuracy
+// comparison is made in the regime the estimator is built for.
+const sampledScaleFactor = 16
+
+// SampledRow compares one workload's exact run against its sampled
+// estimate at the same scale and configuration.
+type SampledRow struct {
+	Name        string
+	Scale       int // resolved scale the comparison ran at
+	TotalInstrs uint64
+
+	FullCycles uint64
+	EstCycles  uint64
+	CyclesLow  uint64
+	CyclesHi   uint64
+
+	Windows    int
+	FullDetail bool
+	MeanCPI    float64
+	VarCPI     float64
+	StdErrCPI  float64
+
+	ErrPct    float64 // signed estimate error vs the exact run
+	InCI      bool    // exact cycles inside the 95% CI
+	Reduction float64 // full cycles / detailed cycles simulated
+
+	Params sample.Params
+}
+
+// RunSampled runs the sampled-vs-exact comparison on 8 2-way
+// out-of-order units (the paper's headline configuration). Rows run
+// serially; each sampled run's detailed windows already fan out over
+// the worker pool.
+func RunSampled(scale Scale) ([]SampledRow, error) {
+	rows := make([]SampledRow, 0, len(sampledWorkloads))
+	for _, name := range sampledWorkloads {
+		w := workloads.Get(name)
+		if w == nil {
+			return nil, fmt.Errorf("sampled: unknown workload %q", name)
+		}
+		eff := Scale(scale.of(w) * sampledScaleFactor)
+		p, o, err := buildOracle(w, asm.ModeMultiscalar, eff)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		cfg := core.DefaultConfig(8, 2, true)
+		input := inputFor(name)
+		full, err := runShared(p, o, cfg, input,
+			fmt.Sprintf("%s sampled-baseline scale=%d", name, int(eff)))
+		if err != nil {
+			return nil, err
+		}
+		var runCfg core.Config = cfg
+		applyRunFlags(&runCfg)
+		est, err := sample.Run(p, runCfg, sample.Params{}, input, job.DefaultMaxInstrs, RunJobs)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		recordSampled(est)
+		rows = append(rows, SampledRow{
+			Name:        name,
+			Scale:       int(eff),
+			TotalInstrs: est.TotalInstrs,
+			FullCycles:  full.Cycles,
+			EstCycles:   est.EstCycles,
+			CyclesLow:   est.CyclesLow,
+			CyclesHi:    est.CyclesHi,
+			Windows:     est.Windows,
+			FullDetail:  est.FullDetail,
+			MeanCPI:     est.MeanCPI,
+			VarCPI:      est.VarCPI,
+			StdErrCPI:   est.StdErrCPI,
+			ErrPct:      est.ErrPct(full.Cycles),
+			InCI:        est.InCI(full.Cycles),
+			Reduction:   est.DetailReduction(full.Cycles),
+			Params:      est.Params,
+		})
+	}
+	return rows, nil
+}
+
+// FormatSampled renders the sampled-vs-exact comparison.
+func FormatSampled(rows []SampledRow) string {
+	var b strings.Builder
+	b.WriteString("Sampled simulation: exact vs estimated cycles (8 units, 2-way out-of-order)\n")
+	fmt.Fprintf(&b, "  %-10s %9s %10s %10s  %-23s %3s %7s %5s %9s\n",
+		"workload", "instrs", "exact", "estimate", "95% CI", "win", "err", "inCI", "detail")
+	for _, r := range rows {
+		note := ""
+		if r.FullDetail {
+			note = "  (full detail: run too short to sample)"
+		}
+		fmt.Fprintf(&b, "  %-10s %9d %10d %10d  [%10d,%10d] %3d %+6.2f%% %5v %8.1fx%s\n",
+			r.Name, r.TotalInstrs, r.FullCycles, r.EstCycles, r.CyclesLow, r.CyclesHi,
+			r.Windows, r.ErrPct, r.InCI, r.Reduction, note)
+	}
+	return b.String()
+}
+
+// GateSampled returns one line per row failing the accuracy/speed gate:
+// the exact cycle count outside the 95% CI, or a detailed-cycle
+// reduction below minReduction. Empty means every row passed — the CI
+// sample-accuracy job's pass condition.
+func GateSampled(rows []SampledRow, minReduction float64) []string {
+	var fails []string
+	for _, r := range rows {
+		if !r.InCI {
+			fails = append(fails, fmt.Sprintf(
+				"%s: exact %d cycles outside the 95%% CI [%d, %d] (estimate %d, err %+.2f%%)",
+				r.Name, r.FullCycles, r.CyclesLow, r.CyclesHi, r.EstCycles, r.ErrPct))
+		}
+		if r.Reduction < minReduction {
+			fails = append(fails, fmt.Sprintf(
+				"%s: detailed-cycle reduction %.1fx below the %.1fx gate",
+				r.Name, r.Reduction, minReduction))
+		}
+	}
+	return fails
+}
+
+// Sampled-run observability for the JSON report: how many sampled
+// estimates were produced, their total window count, and the mean
+// estimator variance (a drift canary: variance creeping up means the
+// windows disagree more than they used to).
+var (
+	sampledMu      sync.Mutex
+	sampledRuns    uint64
+	sampledWindows uint64
+	sampledVarSum  float64
+)
+
+func recordSampled(e *sample.Estimate) {
+	sampledMu.Lock()
+	sampledRuns++
+	sampledWindows += uint64(e.Windows)
+	sampledVarSum += e.VarCPI
+	sampledMu.Unlock()
+}
+
+// SampledTotals reports the cumulative sampled-simulation work of this
+// process: estimates produced, detailed windows measured, and the mean
+// per-estimate CPI variance.
+func SampledTotals() (runs, windows uint64, meanVar float64) {
+	sampledMu.Lock()
+	defer sampledMu.Unlock()
+	if sampledRuns > 0 {
+		meanVar = sampledVarSum / float64(sampledRuns)
+	}
+	return sampledRuns, sampledWindows, meanVar
+}

@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGateSampled(t *testing.T) {
+	rows := []SampledRow{
+		{Name: "good", InCI: true, Reduction: 14.2},
+		{Name: "biased", InCI: false, Reduction: 20.0, ErrPct: 7.5},
+		{Name: "slow", InCI: true, Reduction: 3.1},
+	}
+	fails := GateSampled(rows, 10)
+	if len(fails) != 2 {
+		t.Fatalf("got %d failures, want 2: %v", len(fails), fails)
+	}
+	joined := strings.Join(fails, "\n")
+	for _, name := range []string{"biased", "slow"} {
+		if !strings.Contains(joined, name) {
+			t.Errorf("failure list does not mention %q: %v", name, fails)
+		}
+	}
+	if strings.Contains(joined, "good") {
+		t.Errorf("passing row flagged: %v", fails)
+	}
+	if got := GateSampled(rows[:1], 10); len(got) != 0 {
+		t.Errorf("clean rows produced failures: %v", got)
+	}
+}

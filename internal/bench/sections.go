@@ -12,7 +12,7 @@ import (
 // the only edit needed to make it addressable.
 var sectionNames = []string{
 	"table1", "table2", "table3", "table4",
-	"breakdown", "ablate", "sweep", "mix", "annotate",
+	"breakdown", "ablate", "sweep", "mix", "annotate", "sampled",
 }
 
 // SectionNames returns the valid -sections names in display order.

@@ -129,6 +129,10 @@ type Multiscalar struct {
 	chkAt uint64
 	chkFn func() error
 
+	// Commit limit (SetCommitLimit): pause the run once this many
+	// instructions have committed.
+	limit uint64
+
 	// Statistics.
 	committed      uint64
 	tasksRetired   uint64
@@ -239,6 +243,9 @@ func (m *Multiscalar) Run() (*Result, error) {
 			if err := fn(); err != nil {
 				return nil, err
 			}
+		}
+		if m.limit > 0 && m.committed >= m.limit {
+			return m.result(), nil
 		}
 		if m.now >= m.cfg.MaxCycles {
 			return nil, fmt.Errorf("core: multiscalar run exceeded %d cycles (deadlock?)", m.cfg.MaxCycles)
@@ -400,6 +407,17 @@ func (m *Multiscalar) foldActivity(unit int, retired bool) {
 // per-bank breakdown — for callers that own the machine (the litmus
 // stress fuzzer's histograms). Result carries the aggregate totals.
 func (m *Multiscalar) ARBStats() arb.Stats { return m.arb.Stats() }
+
+// SetCommitLimit arranges for Run to pause — return the Result so far
+// without finishing the program — once at least n instructions have
+// committed (task commit is the granularity: the machine commits whole
+// tasks, so the pause lands on the first task-retire cycle at or past
+// n). The pause touches no machine state: calling Run again resumes
+// exactly where the paused run stopped and the eventual results are
+// identical to an uninterrupted run. The sampled-simulation engine
+// uses two pauses per detailed window to delimit the measured region.
+// 0 clears the limit.
+func (m *Multiscalar) SetCommitLimit(n uint64) { m.limit = n }
 
 func (m *Multiscalar) result() *Result {
 	var imiss uint64

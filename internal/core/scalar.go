@@ -32,6 +32,15 @@ type Scalar struct {
 	ticked  uint64
 	started bool
 
+	// Warm-state injection (InjectWarm): start execution at startPC
+	// instead of the program entry, with startFCC seeded after Start.
+	startPC  uint32
+	startFCC bool
+
+	// Commit limit (SetCommitLimit): pause the run once this many
+	// instructions have committed.
+	limit uint64
+
 	// Checkpoint hook (ScheduleCheckpoint).
 	chkAt uint64
 	chkFn func() error
@@ -69,15 +78,32 @@ func NewScalar(prog *isa.Program, env *interp.SysEnv, cfg Config) *Scalar {
 	return s
 }
 
-// Run executes the program to completion (or resumes a restored run).
+// SetCommitLimit arranges for Run to pause — return the Result so far
+// without finishing the program — once at least n instructions have
+// committed. Machine state is untouched by the pause: calling Run
+// again (with a higher or cleared limit) resumes exactly where the
+// paused run stopped, and the eventual results are identical to an
+// uninterrupted run. The sampled-simulation engine uses two pauses per
+// detailed window to delimit the measured region. 0 clears the limit.
+func (s *Scalar) SetCommitLimit(n uint64) { s.limit = n }
+
+// Run executes the program to completion (or resumes a restored or
+// commit-limit-paused run).
 func (s *Scalar) Run() (*Result, error) {
 	if !s.started {
 		s.started = true
+		entry := s.prog.Entry
+		if s.startPC != 0 {
+			entry = s.startPC
+		}
 		if s.cfg.Sink != nil {
 			s.unit.SetTraceTask(0)
-			s.cfg.Sink.Emit(trace.Event{Cycle: 0, Kind: trace.KTaskAssign, Unit: 0, Task: 0, Arg: s.prog.Entry})
+			s.cfg.Sink.Emit(trace.Event{Cycle: 0, Kind: trace.KTaskAssign, Unit: 0, Task: 0, Arg: entry})
 		}
-		s.unit.Start(s.prog.Entry, 0)
+		s.unit.Start(entry, 0)
+		if s.startFCC {
+			s.unit.SeedFCC(true)
+		}
 	}
 	// Same wakeup scheduler as the multiscalar loop (docs/perf.md), with
 	// only the unit itself to consult: after a cycle in which the unit
@@ -93,6 +119,9 @@ func (s *Scalar) Run() (*Result, error) {
 			if err := fn(); err != nil {
 				return nil, err
 			}
+		}
+		if s.limit > 0 && s.unit.Retired >= s.limit {
+			return s.result(), nil
 		}
 		if s.now >= s.cfg.MaxCycles {
 			return nil, fmt.Errorf("core: scalar run exceeded %d cycles", s.cfg.MaxCycles)
@@ -118,6 +147,12 @@ func (s *Scalar) Run() (*Result, error) {
 			Arg: s.unit.ExitPC(), Arg2: s.unit.Retired})
 		s.cfg.Sink.Emit(trace.Event{Cycle: s.now, Kind: trace.KRunEnd, Unit: -1, Task: -1, Arg2: s.now})
 	}
+	return s.result(), nil
+}
+
+// result assembles the Result for the machine's current state (used at
+// run end and at commit-limit pauses).
+func (s *Scalar) result() *Result {
 	res := &Result{
 		Cycles:       s.now,
 		CyclesTicked: s.ticked,
@@ -129,7 +164,7 @@ func (s *Scalar) Run() (*Result, error) {
 		BusRequests:  s.bus.Requests,
 	}
 	res.Activity = s.unit.ActCounts
-	return res, nil
+	return res
 }
 
 // Memory exposes the backing store (for test assertions).

@@ -55,7 +55,7 @@ func loadRegs(d *snapshot.Decoder, regs *[isa.NumRegs]interp.Value) {
 
 // Save serializes the scalar machine.
 func (s *Scalar) Save() ([]byte, error) {
-	e := snapshot.NewEncoder(snapshot.KindScalar)
+	e := snapshot.NewEncoder(snapshot.KindScalar, s.now)
 	e.Tag("SCLR")
 	e.Bool(s.started)
 	e.U64(s.now)
@@ -172,7 +172,7 @@ func (m *Multiscalar) loadTask(d *snapshot.Decoder) *taskState {
 
 // Save serializes the multiscalar machine.
 func (m *Multiscalar) Save() ([]byte, error) {
-	e := snapshot.NewEncoder(snapshot.KindMultiscalar)
+	e := snapshot.NewEncoder(snapshot.KindMultiscalar, m.now)
 	e.Tag("MSC ")
 	e.Int(m.cfg.NumUnits)
 	e.U64(m.now)

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+
+	"multiscalar/internal/interp"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/mem"
+	"multiscalar/internal/predict"
+	"multiscalar/internal/snapshot"
+)
+
+// Warm-state capture and injection for sampled simulation
+// (internal/sample, docs/perf.md "Sampled simulation").
+//
+// A WarmState is what functional-warm fast-forward knows at an
+// instruction boundary: the architectural state (PC, registers, FCC,
+// memory, system environment) plus the warmed microarchitectural
+// structures whose contents accumulate over the whole run — cache tag
+// arrays, branch-predictor tables, and for the multiscalar machine the
+// task predictor, sequencer return-address stack and task-descriptor
+// cache. Everything else in a timing machine (pipelines, MSHRs, the
+// ARB, register-forwarding state) is short-lived and is left cold; the
+// detailed window's warm-up prefix absorbs that transient.
+//
+// Injection loads a WarmState into a freshly constructed machine and
+// points it at the capture PC, so a detailed measurement window starts
+// from state a full detailed run would plausibly have at that point.
+// For the multiscalar machine the capture PC must be a task boundary
+// (the sequencer can only start tasks); the sample engine captures at
+// boundaries only.
+
+// WarmState accumulates warm structures during functional fast-forward
+// and serializes them at capture points. The warm caches are built by
+// NewWarmState with the target Config's geometry; the architectural
+// fields are set by the engine before each Encode.
+type WarmState struct {
+	// Architectural state at the capture point.
+	PC     uint32
+	FCC    bool
+	ICount uint64 // dynamic instructions retired before this point
+	Regs   [isa.NumRegs]interp.Value
+	Env    *interp.SysEnv
+	Mem    *mem.Memory
+
+	// Warm microarchitectural structures (tag/table contents only; they
+	// never see timing, so they carry no MSHRs or occupancy).
+	ICache *mem.Cache
+	DCache *mem.BankedDCache
+	Branch *predict.BranchPredictor
+
+	// Multiscalar-only sequencer structures.
+	Multi     bool
+	TaskPred  predict.TaskPredictor
+	RAS       predict.RAS
+	DescCache *mem.Cache
+}
+
+// NewWarmState allocates warm structures matching the machines a
+// Config would build (the geometry rules mirror NewScalar and
+// NewMultiscalar; the backing bus is a throwaway — warm structures are
+// only ever Touched, never Accessed). The caller sets Env and Mem to
+// the functional machine's and the per-capture fields before Encode.
+func NewWarmState(cfg Config, multi bool) *WarmState {
+	bus := mem.NewBus()
+	w := &WarmState{
+		Multi:  multi,
+		ICache: mem.NewCache("icache", cfg.ICacheBytes, cfg.ICacheBlock, 0, cfg.NumMSHRs, bus),
+		Branch: predict.NewBranchPredictor(cfg.BranchEntries),
+	}
+	if multi {
+		w.DCache = mem.NewBankedDCache(cfg.NumBanks(), cfg.DBankBytes, cfg.DBlockBytes, cfg.DCacheHit, cfg.NumMSHRs, bus)
+		w.DescCache = mem.NewCache("desccache", cfg.DescCacheEntries*16, 16, 0, 1, bus)
+	} else {
+		w.DCache = mem.NewBankedDCache(1, cfg.DBankBytes, cfg.DBlockBytes, cfg.DCacheHit, cfg.NumMSHRs, bus)
+	}
+	return w
+}
+
+// Encode serializes the warm state as a KindWarm snapshot (header
+// cycle = ICount).
+func (w *WarmState) Encode() []byte {
+	e := snapshot.NewEncoder(snapshot.KindWarm, w.ICount)
+	e.Tag("WARM")
+	e.Bool(w.Multi)
+	e.U32(w.PC)
+	e.Bool(w.FCC)
+	saveRegs(e, &w.Regs)
+	w.Env.SaveState(e)
+	w.Mem.SaveState(e)
+	w.ICache.SaveState(e)
+	w.DCache.SaveState(e)
+	w.Branch.SaveState(e)
+	if w.Multi {
+		w.TaskPred.SaveState(e)
+		w.RAS.SaveState(e)
+		w.DescCache.SaveState(e)
+	}
+	return e.Bytes()
+}
+
+// decodeWarmHeader consumes the common prefix of a warm snapshot.
+func decodeWarmHeader(data []byte, wantMulti bool) (*snapshot.Decoder, uint32, bool, error) {
+	d, err := snapshot.NewDecoder(data, snapshot.KindWarm)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	d.Tag("WARM")
+	multi := d.Bool()
+	pc := d.U32()
+	fcc := d.Bool()
+	if err := d.Err(); err != nil {
+		return nil, 0, false, err
+	}
+	if multi != wantMulti {
+		return nil, 0, false, fmt.Errorf("core: warm state for %s machine, want %s",
+			machineName(multi), machineName(wantMulti))
+	}
+	return d, pc, fcc, nil
+}
+
+func machineName(multi bool) string {
+	if multi {
+		return "multiscalar"
+	}
+	return "scalar"
+}
+
+// InjectWarm loads a warm-state snapshot into a freshly constructed
+// multiscalar machine: execution will start at the capture PC (which
+// must be a task boundary) with the captured architectural state, and
+// caches, predictors and the sequencer's history arrive pre-warmed.
+// Timing state starts cold at cycle 0. On error the machine must not
+// be run.
+func (m *Multiscalar) InjectWarm(data []byte) error {
+	if m.now != 0 || m.active != 0 || m.finished {
+		return fmt.Errorf("core: InjectWarm on a machine that has run")
+	}
+	d, pc, _, err := decodeWarmHeader(data, true)
+	if err != nil {
+		return err
+	}
+	if m.prog.TaskAt(pc) == nil {
+		return fmt.Errorf("core: warm-state PC 0x%x is not a task boundary", pc)
+	}
+	loadRegs(d, &m.archRegs)
+	m.env.LoadState(d)
+	m.backing.LoadState(d)
+
+	// Warm tables are decoded into throwaway structures and adopted, so
+	// the machine's own statistics and in-flight state stay pristine.
+	tmp := NewWarmState(m.cfg, true)
+	tmp.ICache.LoadState(d)
+	tmp.DCache.LoadState(d)
+	tmp.Branch.LoadState(d)
+	tmp.TaskPred.LoadState(d)
+	tmp.RAS.LoadState(d)
+	tmp.DescCache.LoadState(d)
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	for _, ic := range m.icaches {
+		if !ic.AdoptTags(tmp.ICache) {
+			return fmt.Errorf("core: warm icache geometry mismatch")
+		}
+	}
+	for i, b := range m.dbanks.Banks {
+		if !b.AdoptTags(tmp.DCache.Banks[i]) {
+			return fmt.Errorf("core: warm dcache geometry mismatch")
+		}
+	}
+	for _, u := range m.units {
+		if !u.BranchPredictor().AdoptTables(tmp.Branch) {
+			return fmt.Errorf("core: warm branch-predictor geometry mismatch")
+		}
+	}
+	if !m.descCache.AdoptTags(tmp.DescCache) {
+		return fmt.Errorf("core: warm descriptor-cache geometry mismatch")
+	}
+	m.predictor = tmp.TaskPred
+	m.predictor.Predictions, m.predictor.Correct = 0, 0
+	m.ras = tmp.RAS
+
+	m.forced = pc
+	m.forcedValid = true
+	// FCC is not carried across task boundaries by the machine design
+	// (units clear it at Start), so the captured FCC is ignored here.
+	return nil
+}
+
+// InjectWarm loads a warm-state snapshot into a freshly constructed
+// scalar machine; see Multiscalar.InjectWarm. The scalar machine can
+// resume at any instruction, so the captured FCC is seeded into the
+// unit when Run starts it.
+func (s *Scalar) InjectWarm(data []byte) error {
+	if s.started {
+		return fmt.Errorf("core: InjectWarm on a machine that has run")
+	}
+	d, pc, fcc, err := decodeWarmHeader(data, false)
+	if err != nil {
+		return err
+	}
+	loadRegs(d, &s.ext.regs)
+	s.env.LoadState(d)
+	s.backing.LoadState(d)
+
+	tmp := NewWarmState(s.cfg, false)
+	tmp.ICache.LoadState(d)
+	tmp.DCache.LoadState(d)
+	tmp.Branch.LoadState(d)
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if !s.icache.AdoptTags(tmp.ICache) {
+		return fmt.Errorf("core: warm icache geometry mismatch")
+	}
+	if !s.dcache.AdoptTags(tmp.DCache.Banks[0]) {
+		return fmt.Errorf("core: warm dcache geometry mismatch")
+	}
+	if !s.unit.BranchPredictor().AdoptTables(tmp.Branch) {
+		return fmt.Errorf("core: warm branch-predictor geometry mismatch")
+	}
+
+	s.startPC = pc
+	s.startFCC = fcc
+	return nil
+}

@@ -7,6 +7,20 @@ import (
 	"multiscalar/internal/mem"
 )
 
+// Warmer observes the retired instruction stream during functional
+// execution so simulation structures (caches, predictors, the task
+// sequencer's history) can be kept warm without running the timing
+// machine. Both callbacks are on the hot path: implementations must be
+// cheap and must not touch machine state. A nil Warm field costs one
+// predictable branch per instruction.
+type Warmer interface {
+	// Mem is called for every load and store with the effective address.
+	Mem(addr uint32, store bool)
+	// Retire is called after every instruction with its PC and the PC
+	// of the next instruction (control flow already resolved).
+	Retire(pc, next uint32)
+}
+
 // Machine is the functional simulator state.
 type Machine struct {
 	Prog *isa.Program
@@ -15,6 +29,9 @@ type Machine struct {
 	FCC  bool
 	PC   uint32
 	Env  *SysEnv
+
+	// Warm, when non-nil, observes retired instructions (see Warmer).
+	Warm Warmer
 
 	// ICount is the dynamic instruction count — the quantity Table 2
 	// reports.
@@ -84,6 +101,9 @@ func (m *Machine) Step() error {
 		if u.rd != isa.RegZero {
 			m.Regs[u.rd] = v
 		}
+		if m.Warm != nil {
+			m.Warm.Mem(addr, false)
+		}
 		m.LoadCount++
 	case uLoad:
 		addr := m.Regs[u.rs].I + uint32(u.imm)
@@ -94,6 +114,9 @@ func (m *Machine) Step() error {
 		if u.rd != isa.RegZero {
 			m.Regs[u.rd] = LoadValue(u.op, raw)
 		}
+		if m.Warm != nil {
+			m.Warm.Mem(addr, false)
+		}
 		m.LoadCount++
 	case uSw:
 		addr := m.Regs[u.rs].I + uint32(u.imm)
@@ -101,6 +124,9 @@ func (m *Machine) Step() error {
 			return fmt.Errorf("interp: unaligned %s of 0x%x at PC 0x%x", u.op, addr, m.PC)
 		}
 		m.Mem.WriteN(addr, 4, uint64(m.Regs[u.rt].I))
+		if m.Warm != nil {
+			m.Warm.Mem(addr, true)
+		}
 		m.StoreCount++
 	case uStore:
 		addr := m.Regs[u.rs].I + uint32(u.imm)
@@ -108,6 +134,9 @@ func (m *Machine) Step() error {
 			return fmt.Errorf("interp: unaligned %s of 0x%x at PC 0x%x", u.op, addr, m.PC)
 		}
 		m.Mem.WriteN(addr, int(u.size), StoreValue(u.op, m.Regs[u.rt]))
+		if m.Warm != nil {
+			m.Warm.Mem(addr, true)
+		}
 		m.StoreCount++
 
 	case uJ:
@@ -267,6 +296,9 @@ func (m *Machine) Step() error {
 		}
 	}
 
+	if m.Warm != nil {
+		m.Warm.Retire(m.PC, nextPC)
+	}
 	m.ICount++
 	m.PC = nextPC
 	return nil

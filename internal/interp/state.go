@@ -85,7 +85,7 @@ func (m *Machine) LoadState(d *snapshot.Decoder) {
 
 // Save serializes the machine into a snapshot.
 func (m *Machine) Save() ([]byte, error) {
-	e := snapshot.NewEncoder(snapshot.KindInterp)
+	e := snapshot.NewEncoder(snapshot.KindInterp, m.ICount)
 	m.SaveState(e)
 	return e.Bytes(), nil
 }

@@ -1,0 +1,61 @@
+package interp
+
+import (
+	"testing"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/workloads"
+)
+
+// countingWarmer records what the machine's warming hooks deliver.
+type countingWarmer struct {
+	loads, stores, retires uint64
+	lastPC, lastNext       uint32
+}
+
+func (c *countingWarmer) Mem(addr uint32, store bool) {
+	if store {
+		c.stores++
+	} else {
+		c.loads++
+	}
+}
+
+func (c *countingWarmer) Retire(pc, next uint32) {
+	c.retires++
+	c.lastPC, c.lastNext = pc, next
+}
+
+// TestWarmerHooks: the Warm observer sees exactly one Retire per
+// executed instruction and one Mem per load/store, and attaching it
+// changes nothing about the run.
+func TestWarmerHooks(t *testing.T) {
+	w := workloads.Get("example")
+	p, err := w.Build(asm.ModeMultiscalar, w.TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain := NewMachine(p, NewSysEnv())
+	if err := plain.Run(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+
+	cw := &countingWarmer{}
+	m := NewMachine(p, NewSysEnv())
+	m.Warm = cw
+	if err := m.Run(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+
+	if m.ICount != plain.ICount || m.Env.Out.String() != plain.Env.Out.String() {
+		t.Errorf("warmer perturbed the run: %d instrs vs %d", m.ICount, plain.ICount)
+	}
+	if cw.retires != m.ICount {
+		t.Errorf("%d Retire callbacks for %d instructions", cw.retires, m.ICount)
+	}
+	if cw.loads != m.LoadCount || cw.stores != m.StoreCount {
+		t.Errorf("warmer saw %d loads / %d stores, machine counted %d / %d",
+			cw.loads, cw.stores, m.LoadCount, m.StoreCount)
+	}
+}

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"multiscalar/internal/asm"
 	"multiscalar/internal/core"
 	"multiscalar/internal/interp"
 	"multiscalar/internal/isa"
+	"multiscalar/internal/sample"
 	"multiscalar/internal/trace"
 	"multiscalar/internal/workloads"
 )
@@ -53,12 +55,23 @@ type Oracle struct {
 
 // Output is what a job produces.
 type Output struct {
-	Result   *core.Result // simulate jobs
-	Oracle   *Oracle      // set when the job ran the functional oracle
-	Program  []byte       // assemble jobs: the .msb container bytes
-	Trace    []byte       // .mstrc bytes when Spec.WantTrace
-	Snapshot []byte       // finished-machine snapshot when Spec.WantSnapshot
+	Result   *core.Result     // simulate jobs
+	Sampled  *sample.Estimate // sampled jobs
+	Oracle   *Oracle          // set when the job ran the functional oracle
+	Program  []byte           // assemble jobs: the .msb container bytes
+	Trace    []byte           // .mstrc bytes when Spec.WantTrace
+	Snapshot []byte           // finished-machine snapshot when Spec.WantSnapshot
 }
+
+// sampleRunner fans a sampled job's detailed windows out over a worker
+// pool. The bench package registers its job pool here (SetSampleRunner)
+// so window-level parallelism and section-level parallelism share one
+// bound; nil runs windows serially.
+var sampleRunner atomic.Pointer[sample.Runner]
+
+// SetSampleRunner registers the worker pool sampled jobs fan their
+// detailed windows over.
+func SetSampleRunner(r sample.Runner) { sampleRunner.Store(&r) }
 
 // buildMemo single-flights program construction per assemble-shaped key:
 // a workload built at one (mode, scale) — or a source text built at one
@@ -131,6 +144,9 @@ func Execute(s *Spec, rt *Runtime) (*Output, error) {
 			return nil, err
 		}
 		return &Output{Program: buf.Bytes()}, nil
+	}
+	if s.Op == OpSampled {
+		return executeSampled(s, rt, p)
 	}
 
 	cfg := s.Config
@@ -232,6 +248,38 @@ func Execute(s *Spec, rt *Runtime) (*Output, error) {
 	}
 	out.Result = res
 	return out, nil
+}
+
+// executeSampled runs a sampled job: sample.Run over the resolved
+// program, with the detailed windows fanned out over the registered
+// runner. Streaming stdin is slurped first — the functional passes and
+// every window need independent views of the same bytes.
+func executeSampled(s *Spec, rt *Runtime, p *isa.Program) (*Output, error) {
+	cfg := s.Config
+	if s.MaxCycles > 0 {
+		cfg.MaxCycles = s.MaxCycles
+	}
+	stdin := s.Stdin
+	if rt.Stdin != nil {
+		b, err := io.ReadAll(rt.Stdin)
+		if err != nil {
+			return nil, fmt.Errorf("multiscalar: reading stdin for sampling: %w", err)
+		}
+		stdin = b
+	}
+	maxInstrs := s.MaxInstrs
+	if maxInstrs == 0 {
+		maxInstrs = DefaultMaxInstrs
+	}
+	var pool sample.Runner
+	if r := sampleRunner.Load(); r != nil {
+		pool = *r
+	}
+	est, err := sample.Run(p, cfg, s.Sample, stdin, maxInstrs, pool)
+	if err != nil {
+		return nil, err
+	}
+	return &Output{Sampled: est}, nil
 }
 
 func (s *Spec) label() string {

@@ -1,0 +1,109 @@
+package job
+
+import (
+	"testing"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/core"
+	"multiscalar/internal/sample"
+)
+
+func sampledSpec() *Spec {
+	return &Spec{
+		Op:       OpSampled,
+		Workload: "example",
+		Mode:     asm.ModeMultiscalar,
+		Config:   core.DefaultConfig(4, 1, false),
+	}
+}
+
+// TestSampledSpecKeySensitivity: sampling parameters are part of a
+// sampled job's content-addressed identity — two regimes must never
+// alias one cache entry — and a sampled job never aliases the simulate
+// job of the same program and config.
+func TestSampledSpecKeySensitivity(t *testing.T) {
+	base := sampledSpec()
+	baseKey, err := base.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	variants := map[string]sample.Params{
+		"window": {WindowInstrs: 4096},
+		"warmup": {WarmupInstrs: 512},
+		"period": {PeriodInstrs: 1 << 16},
+		"offset": {OffsetInstrs: 7},
+		"bias":   {BiasFrac: 0.05},
+	}
+	seen := map[string]string{"base": baseKey}
+	for name, prm := range variants {
+		s := sampledSpec()
+		s.Sample = prm
+		k, err := s.Key()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for prev, pk := range seen {
+			if pk == k {
+				t.Errorf("params %q and %q hash to the same key", name, prev)
+			}
+		}
+		seen[name] = k
+	}
+
+	sim := sampledSpec()
+	sim.Op = OpSimulate
+	simKey, err := sim.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simKey == baseKey {
+		t.Error("sampled and simulate jobs of the same program share a key")
+	}
+}
+
+// TestSampledSpecValidation: sampled jobs reject the options that have
+// no meaning for an estimated run.
+func TestSampledSpecValidation(t *testing.T) {
+	for name, mutate := range map[string]func(*Spec){
+		"machine-override": func(s *Spec) { s.Machine = MachineScalar },
+		"want-trace":       func(s *Spec) { s.WantTrace = true },
+		"want-snapshot":    func(s *Spec) { s.WantSnapshot = true },
+		"verify":           func(s *Spec) { s.Verify = true },
+	} {
+		s := sampledSpec()
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid sampled spec", name)
+		}
+	}
+	if err := sampledSpec().Validate(); err != nil {
+		t.Errorf("valid sampled spec rejected: %v", err)
+	}
+}
+
+// TestExecuteSampled: the sampled execution path produces an estimate
+// whose functional oracle matches a plain simulate job of the same
+// program.
+func TestExecuteSampled(t *testing.T) {
+	out, err := Execute(sampledSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sampled == nil {
+		t.Fatal("sampled job returned no estimate")
+	}
+	sim := sampledSpec()
+	sim.Op = OpSimulate
+	simOut, err := Execute(sim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sampled.Out != simOut.Result.Out || out.Sampled.TotalInstrs != simOut.Result.Committed {
+		t.Errorf("sampled oracle (%q, %d instrs) disagrees with simulate job (%q, %d)",
+			out.Sampled.Out, out.Sampled.TotalInstrs, simOut.Result.Out, simOut.Result.Committed)
+	}
+	if out.Sampled.EstCycles == 0 {
+		t.Error("estimate has zero cycles")
+	}
+}

@@ -15,17 +15,20 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"multiscalar/internal/asm"
 	"multiscalar/internal/core"
 	"multiscalar/internal/isa"
+	"multiscalar/internal/sample"
 )
 
 // SpecVersion tags the canonical encoding Key hashes. Bump it whenever a
 // Spec field is added, removed, or reinterpreted, so keys from different
-// layouts can never alias.
-const SpecVersion = 1
+// layouts can never alias. Version 2 added sampled jobs (OpSampled and
+// the Sample parameter section).
+const SpecVersion = 2
 
 // Op selects what a job does.
 type Op uint8
@@ -36,6 +39,11 @@ const (
 	// OpAssemble only builds the program (returning the .msb container)
 	// without simulating it.
 	OpAssemble
+	// OpSampled runs a SMARTS-style sampled simulation (internal/sample):
+	// functional-warm fast-forward plus detailed measurement windows,
+	// returning an extrapolated cycle estimate with a confidence interval
+	// instead of an exact Result.
+	OpSampled
 )
 
 func (o Op) String() string {
@@ -44,6 +52,8 @@ func (o Op) String() string {
 		return "simulate"
 	case OpAssemble:
 		return "assemble"
+	case OpSampled:
+		return "sampled"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
@@ -94,6 +104,10 @@ type Spec struct {
 	// contract the bench harness has always kept.
 	Stdin []byte
 
+	// Sample configures sampled jobs (OpSampled); zero fields are derived
+	// from the run (sample.Params). Ignored for other ops.
+	Sample sample.Params
+
 	// Run bounds. Zero means the Config / facade default.
 	MaxCycles uint64
 	MaxInstrs uint64
@@ -108,8 +122,19 @@ type Spec struct {
 
 // Validate checks structural invariants common to every consumer.
 func (s *Spec) Validate() error {
-	if s.Op != OpSimulate && s.Op != OpAssemble {
+	if s.Op != OpSimulate && s.Op != OpAssemble && s.Op != OpSampled {
 		return fmt.Errorf("job: unknown op %d", int(s.Op))
+	}
+	if s.Op == OpSampled {
+		if s.Machine != MachineAuto {
+			return errors.New("job: sampled jobs use automatic machine dispatch")
+		}
+		if s.WantTrace || s.WantSnapshot {
+			return errors.New("job: sampled jobs produce no trace or snapshot artifacts")
+		}
+		if s.Verify {
+			return errors.New("job: sampled jobs are inherently oracle-checked (the functional pass is the oracle)")
+		}
 	}
 	if s.Machine != MachineAuto && s.Machine != MachineScalar && s.Machine != MachineMultiscalar {
 		return fmt.Errorf("job: unknown machine selector %d", int(s.Machine))
@@ -165,12 +190,24 @@ func (s *Spec) MarshalCanonical() ([]byte, error) {
 	}
 	buf = binary.BigEndian.AppendUint64(buf, uint64(int64(s.Scale)))
 
-	if s.Op == OpSimulate {
+	if s.Op == OpSimulate || s.Op == OpSampled {
 		cfg, err := s.Config.MarshalCanonical()
 		if err != nil {
 			return nil, err
 		}
 		appendBytes('C', cfg)
+	}
+	if s.Op == OpSampled {
+		// Sampling parameters change the estimate, so they are part of the
+		// job's identity (zero fields are derived deterministically from
+		// the run, so the zero Params is a stable identity too).
+		var sp [5 * 8]byte
+		binary.BigEndian.PutUint64(sp[0:], s.Sample.WindowInstrs)
+		binary.BigEndian.PutUint64(sp[8:], s.Sample.WarmupInstrs)
+		binary.BigEndian.PutUint64(sp[16:], s.Sample.PeriodInstrs)
+		binary.BigEndian.PutUint64(sp[24:], s.Sample.OffsetInstrs)
+		binary.BigEndian.PutUint64(sp[32:], math.Float64bits(s.Sample.BiasFrac))
+		appendBytes('G', sp[:])
 	}
 
 	if s.Stdin == nil {

@@ -51,6 +51,12 @@ func (d *BankedDCache) Access(now uint64, addr uint32, write bool) (done uint64)
 	return d.Banks[bank].Access(start, addr, write)
 }
 
+// Touch installs addr's tag in the owning bank without modeling timing
+// (see Cache.Touch).
+func (d *BankedDCache) Touch(addr uint32) {
+	d.Banks[d.BankOf(addr)].Touch(addr)
+}
+
 // Reset clears bank occupancy and per-bank cache state.
 func (d *BankedDCache) Reset() {
 	for i := range d.nextFree {

@@ -184,6 +184,30 @@ func (c *Cache) Access(now uint64, addr uint32, write bool) (done uint64) {
 	return fill + uint64(c.HitLatency)
 }
 
+// Touch installs addr's tag without modeling timing: no bus traffic,
+// no MSHR, no statistics. The sampled-simulation engine uses it to
+// keep cache contents warm during functional fast-forward, so a
+// detailed window restored from warm state starts with the tag array a
+// full detailed run would have at that point.
+func (c *Cache) Touch(addr uint32) {
+	set, tag := c.index(addr)
+	c.vld[set], c.tags[set] = true, tag
+}
+
+// AdoptTags copies another cache's tag array into this one (same-
+// geometry caches only). The multiscalar machine's per-unit icaches
+// all see the same fetch stream during functional warming, so one
+// warmed tag array is captured and adopted by every unit on warm-state
+// injection.
+func (c *Cache) AdoptTags(src *Cache) bool {
+	if src.sets != c.sets || src.BlockBytes != c.BlockBytes || src.stride != c.stride {
+		return false
+	}
+	copy(c.tags, src.tags)
+	copy(c.vld, src.vld)
+	return true
+}
+
 // Reset invalidates the cache and clears statistics.
 func (c *Cache) Reset() {
 	for i := range c.vld {

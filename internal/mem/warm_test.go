@@ -1,0 +1,56 @@
+package mem
+
+import "testing"
+
+// Touch and AdoptTags are the warm-state primitives of sampled
+// simulation (internal/sample): functional warming installs tags
+// without timing, injection copies them into a fresh machine's caches.
+
+func TestTouchInstallsTag(t *testing.T) {
+	c := NewCache("test", 1024, 16, 0, 2, NewBus())
+	c.Touch(0x1000)
+	c.Access(0, 0x1000, false)
+	if c.Misses != 0 || c.Hits != 1 {
+		t.Errorf("access after Touch: %d hits, %d misses; want a pure hit", c.Hits, c.Misses)
+	}
+	// An untouched block still misses.
+	c.Access(0, 0x8000, false)
+	if c.Misses != 1 {
+		t.Errorf("untouched access missed %d times, want 1", c.Misses)
+	}
+}
+
+func TestAdoptTags(t *testing.T) {
+	bus := NewBus()
+	src := NewCache("src", 1024, 16, 0, 2, bus)
+	for addr := uint32(0); addr < 1024; addr += 16 {
+		src.Touch(addr)
+	}
+	dst := NewCache("dst", 1024, 16, 0, 2, bus)
+	if !dst.AdoptTags(src) {
+		t.Fatal("AdoptTags rejected identical geometry")
+	}
+	dst.Access(0, 0x100, false)
+	if dst.Misses != 0 {
+		t.Error("adopted tags did not carry the warm set")
+	}
+	if dst.Hits != 1 {
+		t.Errorf("statistics after one access: %d hits, want 1 (adoption must not carry counters)", dst.Hits)
+	}
+
+	other := NewCache("other", 2048, 16, 0, 2, bus)
+	if other.AdoptTags(src) {
+		t.Error("AdoptTags accepted a geometry mismatch")
+	}
+}
+
+func TestBankedTouchRoutesToBank(t *testing.T) {
+	d := NewBankedDCache(4, 1024, 16, 0, 2, NewBus())
+	addr := uint32(0x2340)
+	d.Touch(addr)
+	bank := d.BankOf(addr)
+	d.Banks[bank].Access(0, addr, false)
+	if d.Banks[bank].Misses != 0 {
+		t.Errorf("bank %d missed on a touched address", bank)
+	}
+}

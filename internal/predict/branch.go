@@ -84,6 +84,21 @@ func (b *BranchPredictor) UpdateIndirect(pc uint32, target uint32) {
 	b.targets[(pc>>2)&uint32(len(b.targets)-1)] = target
 }
 
+// AdoptTables copies another predictor's trained tables (direction
+// counters and last-target entries) into this one, leaving the RAS and
+// statistics alone. Warm-state injection uses it to seed every unit's
+// predictor from the one predictor trained during functional
+// fast-forward; the RAS is excluded because units clear it at every
+// task start anyway.
+func (b *BranchPredictor) AdoptTables(src *BranchPredictor) bool {
+	if len(src.counters) != len(b.counters) || len(src.targets) != len(b.targets) {
+		return false
+	}
+	copy(b.counters, src.counters)
+	copy(b.targets, src.targets)
+	return true
+}
+
 // ClearRAS empties the per-unit return stack (on task squash/assign).
 func (b *BranchPredictor) ClearRAS() { b.rasTop, b.rasDepth = 0, 0 }
 

@@ -1,0 +1,32 @@
+package predict
+
+import "testing"
+
+// AdoptTables is the branch-predictor half of warm-state injection
+// (internal/sample): table contents move, statistics and the
+// intra-task RAS stay fresh.
+
+func TestAdoptTables(t *testing.T) {
+	src := NewBranchPredictor(64)
+	pc := uint32(0x400100)
+	for i := 0; i < 4; i++ {
+		src.UpdateTaken(pc, true, src.PredictTaken(pc))
+	}
+	src.UpdateIndirect(0x400200, 0x400300)
+
+	dst := NewBranchPredictor(64)
+	if !dst.AdoptTables(src) {
+		t.Fatal("AdoptTables rejected identical geometry")
+	}
+	if !dst.PredictTaken(pc) {
+		t.Error("adopted counters lost the trained taken-bias")
+	}
+	if got := dst.PredictIndirect(0x400200); got != 0x400300 {
+		t.Errorf("adopted indirect target 0x%x, want 0x400300", got)
+	}
+
+	small := NewBranchPredictor(16)
+	if small.AdoptTables(src) {
+		t.Error("AdoptTables accepted a geometry mismatch")
+	}
+}

@@ -292,6 +292,13 @@ func (u *Unit) Start(entry uint32, now uint64) {
 	u.bp.ClearRAS()
 }
 
+// SeedFCC sets the committed floating-point condition flag. Start
+// clears it, which is correct for multiscalar task assignment (FCC is
+// not carried across task boundaries by the machine design), but the
+// scalar machine resuming mid-program from warm state needs the
+// functional machine's FCC seeded after Start.
+func (u *Unit) SeedFCC(v bool) { u.committedFCC = v }
+
 // SetTraceTask labels this unit's subsequent trace events with the
 // owner-assigned task sequence number (-1 when idle).
 func (u *Unit) SetTraceTask(seq int32) { u.taskSeq = seq }

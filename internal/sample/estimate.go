@@ -1,0 +1,76 @@
+package sample
+
+import "math"
+
+// Systematic-sampling estimator (SMARTS-style): each detailed window
+// yields one CPI observation; the whole-run cycle count is the total
+// instruction count times the mean window CPI, and the 95% confidence
+// interval comes from the t distribution on the window standard error.
+// Windows are treated as an (approximately) independent sample of the
+// run's CPI process — the standard SMARTS assumption, validated here
+// by the sampled-vs-full harness (bench -sampled, docs/perf.md).
+
+// meanStdErr returns the sample mean, the unbiased sample variance and
+// the standard error of the mean for one window population.
+func meanStdErr(xs []float64) (mean, variance, stderr float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	if n < 2 {
+		return mean, 0, 0
+	}
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	variance /= float64(n - 1)
+	stderr = math.Sqrt(variance / float64(n))
+	return mean, variance, stderr
+}
+
+// tTable holds two-sided 95% critical values of Student's t for small
+// degrees of freedom (df 1..30 exactly, then representative steps).
+var tTable = [...]float64{
+	1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+	6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+	11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+	16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+	21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+	26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+
+// tCrit returns the two-sided 95% critical value for df degrees of
+// freedom.
+func tCrit(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df < len(tTable) {
+		return tTable[df]
+	}
+	switch {
+	case df <= 40:
+		return 2.021
+	case df <= 60:
+		return 2.000
+	case df <= 120:
+		return 1.980
+	}
+	return 1.960
+}
+
+// confidenceInterval returns the two-sided 95% CI around the mean of a
+// sample with n observations and the given standard error.
+func confidenceInterval(mean, stderr float64, n int) (lo, hi float64) {
+	h := tCrit(n-1) * stderr
+	lo = mean - h
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, mean + h
+}

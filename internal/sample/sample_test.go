@@ -1,0 +1,165 @@
+package sample
+
+import (
+	"math/rand"
+	"testing"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/core"
+	"multiscalar/internal/interp"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/workloads"
+)
+
+func buildMulti(t *testing.T, name string, scale int) *isa.Program {
+	t.Helper()
+	w := workloads.Get(name)
+	if w == nil {
+		t.Fatalf("unknown workload %q", name)
+	}
+	p, err := w.Build(asm.ModeMultiscalar, scale)
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	return p
+}
+
+func fullCycles(t *testing.T, p *isa.Program, cfg core.Config) uint64 {
+	t.Helper()
+	m, err := core.NewMultiscalar(p, interp.NewSysEnv(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Cycles
+}
+
+// TestFullDetailFallback: a run too short to sample must fall back to
+// one exact detailed run reported as a zero-width interval.
+func TestFullDetailFallback(t *testing.T) {
+	p := buildMulti(t, "xlisp", workloads.Get("xlisp").TestScale)
+	cfg := core.DefaultConfig(4, 1, false)
+	est, err := Run(p, cfg, Params{}, nil, 1<<40, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.FullDetail {
+		t.Fatalf("expected full-detail fallback at test scale, got %d windows", est.Windows)
+	}
+	full := fullCycles(t, p, cfg)
+	if est.EstCycles != full || est.CyclesLow != full || est.CyclesHi != full {
+		t.Errorf("full-detail estimate %d [%d,%d], want exact %d",
+			est.EstCycles, est.CyclesLow, est.CyclesHi, full)
+	}
+	if !est.InCI(full) {
+		t.Error("exact cycles outside the (zero-width) CI")
+	}
+}
+
+// TestSampledAccuracy: at a long-run scale, the sampled estimate of the
+// two longest workloads must bracket the exact cycle count and pay at
+// least 10× fewer detailed cycles — the acceptance bar the msbench
+// -sampled -sample-gate 10 CI job enforces.
+func TestSampledAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-run sampled accuracy check")
+	}
+	cfg := core.DefaultConfig(8, 2, true)
+	for _, tc := range []struct {
+		name     string
+		scaleMul int
+	}{
+		{"example", 16},
+		{"wc", 16},
+	} {
+		p := buildMulti(t, tc.name, workloads.Get(tc.name).DefaultScale*tc.scaleMul)
+		est, err := Run(p, cfg, Params{}, nil, 1<<40, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		full := fullCycles(t, p, cfg)
+		if !est.InCI(full) {
+			t.Errorf("%s: exact %d outside 95%% CI [%d, %d] (estimate %d, err %+.2f%%)",
+				tc.name, full, est.CyclesLow, est.CyclesHi, est.EstCycles, est.ErrPct(full))
+		}
+		if red := est.DetailReduction(full); red < 10 {
+			t.Errorf("%s: detailed-cycle reduction %.1fx, want >= 10x", tc.name, red)
+		}
+		if est.FullDetail {
+			t.Errorf("%s: fell back to full detail at long-run scale", tc.name)
+		}
+	}
+}
+
+// TestCICoverageProperty: across seeded sampling offsets and table
+// workloads, the exact cycle count must land inside the reported 95%
+// confidence interval on at least 93% of trials (the SMARTS coverage
+// property, with a small slack for the finite trial count).
+func TestCICoverageProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many sampled runs")
+	}
+	cfg := core.DefaultConfig(8, 2, true)
+	rng := rand.New(rand.NewSource(1))
+	const trialsPer = 6
+	trials, covered := 0, 0
+	for _, name := range []string{"compress", "eqntott", "gcc", "wc"} {
+		p := buildMulti(t, name, workloads.Get(name).DefaultScale*8)
+		full := fullCycles(t, p, cfg)
+		// Derive the default regime once so seeded offsets stay inside the
+		// first period (every offset shifts all windows together).
+		base, err := Run(p, cfg, Params{}, nil, 1<<40, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		period := base.Params.PeriodInstrs
+		for i := 0; i < trialsPer; i++ {
+			off := 1 + rng.Uint64()%period
+			est, err := Run(p, cfg, Params{OffsetInstrs: off}, nil, 1<<40, nil)
+			if err != nil {
+				t.Fatalf("%s offset %d: %v", name, off, err)
+			}
+			trials++
+			if est.InCI(full) {
+				covered++
+			} else {
+				t.Logf("%s offset=%d: exact %d outside [%d, %d] (est %d, err %+.2f%%)",
+					name, off, full, est.CyclesLow, est.CyclesHi, est.EstCycles, est.ErrPct(full))
+			}
+		}
+	}
+	coverage := float64(covered) / float64(trials)
+	t.Logf("CI coverage: %d/%d trials (%.1f%%)", covered, trials, 100*coverage)
+	if coverage < 0.93 {
+		t.Errorf("95%% CI covered the exact cycles on only %.1f%% of trials, want >= 93%%", 100*coverage)
+	}
+}
+
+// TestSampledOracleOutput: the estimate's program-visible outcome comes
+// from the functional pass and must match a real run exactly.
+func TestSampledOracleOutput(t *testing.T) {
+	p := buildMulti(t, "wc", workloads.Get("wc").DefaultScale)
+	cfg := core.DefaultConfig(8, 2, true)
+	est, err := Run(p, cfg, Params{}, nil, 1<<40, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewMultiscalar(p, interp.NewSysEnv(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Out != res.Out || est.ExitCode != res.ExitCode {
+		t.Errorf("sampled outcome (%q, %d) != detailed run (%q, %d)",
+			est.Out, est.ExitCode, res.Out, res.ExitCode)
+	}
+	if est.TotalInstrs != res.Committed {
+		t.Errorf("functional total %d != committed %d", est.TotalInstrs, res.Committed)
+	}
+}

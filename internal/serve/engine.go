@@ -15,6 +15,7 @@ import (
 	"multiscalar/internal/bench"
 	"multiscalar/internal/core"
 	"multiscalar/internal/job"
+	"multiscalar/internal/sample"
 )
 
 // Result is what a job submission returns. The same key always carries
@@ -25,10 +26,11 @@ type Result struct {
 	Cached bool   `json:"cached"`
 	Op     string `json:"op"`
 
-	Sim      *core.Result `json:"sim,omitempty"`      // simulate jobs
-	Program  []byte       `json:"program,omitempty"`  // assemble jobs: .msb bytes
-	Trace    []byte       `json:"trace,omitempty"`    // .mstrc artifact
-	Snapshot []byte       `json:"snapshot,omitempty"` // finished-machine snapshot
+	Sim      *core.Result     `json:"sim,omitempty"`      // simulate jobs
+	Sampled  *sample.Estimate `json:"sampled,omitempty"`  // sampled jobs
+	Program  []byte           `json:"program,omitempty"`  // assemble jobs: .msb bytes
+	Trace    []byte           `json:"trace,omitempty"`    // .mstrc artifact
+	Snapshot []byte           `json:"snapshot,omitempty"` // finished-machine snapshot
 }
 
 // withCached returns a shallow copy with the per-retrieval flag set; the
@@ -162,6 +164,7 @@ func (l *Local) Submit(ctx context.Context, client string, spec *job.Spec) (*Res
 		Key:      key,
 		Op:       spec.Op.String(),
 		Sim:      out.Result,
+		Sampled:  out.Sampled,
 		Program:  out.Program,
 		Trace:    out.Trace,
 		Snapshot: out.Snapshot,

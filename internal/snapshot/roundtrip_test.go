@@ -402,16 +402,31 @@ func TestRestoreErrors(t *testing.T) {
 	}
 }
 
-// TestPeek checks kind dispatch on opaque snapshots.
+// TestPeek checks kind dispatch and header metadata on opaque
+// snapshots.
 func TestPeek(t *testing.T) {
 	im := interp.NewMachine(build(t, "wc", asm.ModeScalar), interp.NewSysEnv())
+	for i := 0; i < 100; i++ {
+		if err := im.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
 	snap, err := im.Save()
 	if err != nil {
 		t.Fatal(err)
 	}
-	kind, err := snapshot.Peek(snap)
-	if err != nil || kind != snapshot.KindInterp {
-		t.Errorf("Peek = %d, %v; want %d, nil", kind, err, snapshot.KindInterp)
+	meta, err := snapshot.Peek(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Kind != snapshot.KindInterp {
+		t.Errorf("Peek kind = %d, want %d", meta.Kind, snapshot.KindInterp)
+	}
+	if meta.Version != snapshot.Version {
+		t.Errorf("Peek version = %d, want %d", meta.Version, snapshot.Version)
+	}
+	if meta.Cycle != im.ICount {
+		t.Errorf("Peek cycle = %d, want %d", meta.Cycle, im.ICount)
 	}
 	if _, err := snapshot.Peek([]byte("short")); err == nil {
 		t.Error("Peek(short) = nil error")

@@ -33,8 +33,11 @@ import (
 // within-version artifact, not an archive format).
 const magic = "MSSNAP"
 
-// Version is the current snapshot format version.
-const Version = 2
+// Version is the current snapshot format version. Version 3 added the
+// capture-point cycle (instruction count for the functional machine) to
+// the header, so tools can describe an opaque snapshot without decoding
+// its body.
+const Version = 3
 
 // Machine kinds, stored in the header so a snapshot cannot be fed to
 // the wrong Restore.
@@ -42,10 +45,15 @@ const (
 	KindInterp      uint8 = 1
 	KindScalar      uint8 = 2
 	KindMultiscalar uint8 = 3
+	// KindWarm is not a machine: it is the architectural-plus-warm state
+	// the sampled-simulation engine captures during functional-warm
+	// fast-forward and injects into a fresh timing machine at the start
+	// of a detailed measurement window (internal/sample, docs/perf.md).
+	KindWarm uint8 = 4
 )
 
-// headerSize is len(magic) + version (u16) + kind (u8).
-const headerSize = len(magic) + 3
+// headerSize is len(magic) + version (u16) + kind (u8) + cycle (u64).
+const headerSize = len(magic) + 3 + 8
 
 // KindName names a machine kind for error messages.
 func KindName(kind uint8) string {
@@ -56,19 +64,32 @@ func KindName(kind uint8) string {
 		return "scalar"
 	case KindMultiscalar:
 		return "multiscalar"
+	case KindWarm:
+		return "warm"
 	}
 	return fmt.Sprintf("kind(%d)", kind)
 }
 
-// Peek reads a snapshot's machine kind without decoding the body, so
-// a caller holding an opaque file can dispatch to the right machine
-// constructor.
-func Peek(data []byte) (kind uint8, err error) {
+// Meta is the header of a snapshot: everything that can be known about
+// it without decoding the body.
+type Meta struct {
+	Version uint16
+	Kind    uint8
+	// Cycle is the capture point: the machine cycle for the timing
+	// machines, the dynamic instruction count for the functional
+	// machine and warm-state captures.
+	Cycle uint64
+}
+
+// Peek reads a snapshot's header without decoding the body, so a
+// caller holding an opaque file can dispatch to the right machine
+// constructor or describe the snapshot to a user.
+func Peek(data []byte) (Meta, error) {
 	d, err := newDecoder(data)
 	if err != nil {
-		return 0, err
+		return Meta{}, err
 	}
-	return d.kind, nil
+	return Meta{Version: Version, Kind: d.kind, Cycle: d.cycle}, nil
 }
 
 // Encoder builds a snapshot stream. All integers are big-endian.
@@ -77,12 +98,13 @@ type Encoder struct {
 }
 
 // NewEncoder starts a snapshot for one machine kind, writing the
-// header.
-func NewEncoder(kind uint8) *Encoder {
+// header. cycle is the capture point (see Meta.Cycle).
+func NewEncoder(kind uint8, cycle uint64) *Encoder {
 	e := &Encoder{buf: make([]byte, 0, 1<<12)}
 	e.buf = append(e.buf, magic...)
 	e.U16(Version)
 	e.U8(kind)
+	e.U64(cycle)
 	return e
 }
 
@@ -145,10 +167,11 @@ func (e *Encoder) Tag(tag string) {
 // first failure every read returns zero values, so Load code needs no
 // per-read error handling.
 type Decoder struct {
-	buf  []byte
-	off  int
-	kind uint8
-	err  error
+	buf   []byte
+	off   int
+	kind  uint8
+	cycle uint64
+	err   error
 }
 
 func newDecoder(data []byte) (*Decoder, error) {
@@ -163,6 +186,7 @@ func newDecoder(data []byte) (*Decoder, error) {
 		return nil, fmt.Errorf("snapshot: version %d, want %d", v, Version)
 	}
 	d.kind = d.U8()
+	d.cycle = d.U64()
 	return d, nil
 }
 

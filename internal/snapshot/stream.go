@@ -1,0 +1,38 @@
+package snapshot
+
+// Stream is an in-memory, append-only sequence of snapshots. The
+// sampled-simulation engine (internal/sample) captures one warm-state
+// snapshot per detailed measurement window during functional
+// fast-forward and hands the stream to parallel window workers, so the
+// snapshots never touch disk. All snapshots live in one contiguous
+// buffer: appends copy, reads alias, and a thousand small captures cost
+// one growing allocation instead of a thousand.
+//
+// A Stream is written by one goroutine and, once writing is done, may
+// be read concurrently by any number of goroutines.
+type Stream struct {
+	buf  []byte
+	offs []int // offs[i] is the end of snapshot i; snapshot i starts at offs[i-1] (0 for i==0)
+}
+
+// Append copies one encoded snapshot onto the stream.
+func (s *Stream) Append(snap []byte) {
+	s.buf = append(s.buf, snap...)
+	s.offs = append(s.offs, len(s.buf))
+}
+
+// Len returns the number of snapshots in the stream.
+func (s *Stream) Len() int { return len(s.offs) }
+
+// At returns snapshot i. The slice aliases the stream's buffer and
+// must not be modified.
+func (s *Stream) At(i int) []byte {
+	start := 0
+	if i > 0 {
+		start = s.offs[i-1]
+	}
+	return s.buf[start:s.offs[i]]
+}
+
+// Size returns the total number of snapshot bytes held.
+func (s *Stream) Size() int { return len(s.buf) }

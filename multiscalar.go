@@ -40,7 +40,9 @@ import (
 	"multiscalar/internal/isa"
 	"multiscalar/internal/job"
 	"multiscalar/internal/mslint"
+	"multiscalar/internal/sample"
 	"multiscalar/internal/serve"
+	"multiscalar/internal/snapshot"
 	"multiscalar/internal/taskpart"
 	"multiscalar/internal/trace"
 	"multiscalar/internal/workloads"
@@ -366,11 +368,56 @@ type JobSpec = job.Spec
 const (
 	JobSimulate = job.OpSimulate
 	JobAssemble = job.OpAssemble
+	JobSampled  = job.OpSampled
 
 	JobMachineAuto        = job.MachineAuto
 	JobMachineScalar      = job.MachineScalar
 	JobMachineMultiscalar = job.MachineMultiscalar
 )
+
+// Sampled simulation (docs/perf.md, "Sampled simulation"): a run is
+// mostly fast functional execution that warms the long-lived machine
+// structures, punctuated by short detailed measurement windows; the
+// whole-run cycle count is extrapolated with a 95% confidence interval
+// at a fraction of the detailed-simulation cost.
+
+// SampleParams configures a sampled run's regime (window, warm-up,
+// period, offset, bias allowance). The zero value derives everything
+// from the run itself.
+type SampleParams = sample.Params
+
+// SampleEstimate is a sampled run's outcome: the extrapolated cycle
+// count, its confidence interval, and the detailed cost actually paid.
+type SampleEstimate = sample.Estimate
+
+// RunSampled estimates a program's cycle count by sampled simulation
+// instead of simulating every cycle. It honors WithStdin, WithMaxCycles
+// and WithMaxInstrs; trace, checkpoint and verification options do not
+// apply (the functional pass is the run's oracle by construction).
+func RunSampled(p *Program, cfg Config, prm SampleParams, opts ...RunOption) (*SampleEstimate, error) {
+	o := gather(p, cfg, opts)
+	o.spec.Op = job.OpSampled
+	o.spec.Sample = prm
+	o.spec.Verify = false
+	out, err := job.Execute(&o.spec, &o.rt)
+	if err != nil {
+		return nil, err
+	}
+	return out.Sampled, nil
+}
+
+// SnapshotMeta is the header of a machine snapshot: format version,
+// snapshot kind, and the cycle (or, for functional and warm snapshots,
+// instruction count) it was taken at.
+type SnapshotMeta = snapshot.Meta
+
+// PeekSnapshot reads a snapshot's header without decoding its body —
+// what a tool should print before committing to a restore.
+func PeekSnapshot(data []byte) (SnapshotMeta, error) { return snapshot.Peek(data) }
+
+// SnapshotKindName names a snapshot kind ("multiscalar", "scalar",
+// "interp", "warm").
+func SnapshotKindName(kind uint8) string { return snapshot.KindName(kind) }
 
 // JobResult is a job's outcome: the result payload plus whether this
 // submission was answered from the content-addressed cache.
